@@ -1,0 +1,59 @@
+"""Fig. 13 — strong and weak scaling on Piz Daint and Summit.
+
+Regenerates the four panels' series (computation and communication time
+per iteration for the original OMEN and the DaCe variant).  Shape checks:
+
+* the DaCe variant outperforms OMEN by >10x at scale (paper: up to 16.3x
+  on Piz Daint, 24.5x on Summit),
+* communication improves by 1-2 orders of magnitude (417x / 79.7x),
+* the DaCe strong-scaling efficiency stays high then degrades (paper:
+  99.8% -> 74% on Piz Daint).
+"""
+
+from repro.analysis import fig13_series, render_table
+from repro.analysis.report import report
+
+
+def test_fig13_scaling(benchmark):
+    series = benchmark(fig13_series)
+    for name, panels in series.items():
+        strong, weak = panels["strong"], panels["weak"]
+        report(
+            render_table(
+                f"Fig. 13 ({name}) strong scaling, Nkz=7 [seconds/iteration]",
+                ["P", "GPUs", "DaCe comp", "DaCe comm", "OMEN comp",
+                 "OMEN comm", "speedup", "comm speedup", "DaCe eff"],
+                [
+                    [r["P"], r["gpus"], r["dace_comp"], r["dace_comm"],
+                     r["omen_comp"], r["omen_comm"], r["speedup"],
+                     r["comm_speedup"], r["dace_efficiency"]]
+                    for r in strong
+                ],
+            )
+        )
+        report(
+            render_table(
+                f"Fig. 13 ({name}) weak scaling [seconds/iteration]",
+                ["Nkz", "P", "DaCe comp", "DaCe comm", "OMEN comp",
+                 "OMEN comm", "speedup"],
+                [
+                    [r["nkz"], r["P"], r["dace_comp"], r["dace_comm"],
+                     r["omen_comp"], r["omen_comm"], r["speedup"]]
+                    for r in weak
+                ],
+            )
+        )
+
+    # --- shape assertions ----------------------------------------------------
+    daint = series["piz-daint"]["strong"]
+    summit = series["summit"]["strong"]
+    assert max(r["speedup"] for r in daint) > 10
+    assert max(r["speedup"] for r in summit) > 10
+    assert max(r["comm_speedup"] for r in daint) > 100
+    assert max(r["comm_speedup"] for r in summit) > 30
+    # OMEN communication plateaus under strong scaling; DaCe keeps shrinking.
+    assert daint[-1]["omen_comm"] > 0.8 * daint[0]["omen_comm"]
+    assert daint[-1]["dace_comm"] < daint[0]["dace_comm"]
+    # DaCe strong-scaling efficiency degrades gracefully.
+    assert daint[0]["dace_efficiency"] > 0.95
+    assert 0.4 < daint[-1]["dace_efficiency"] < 1.0

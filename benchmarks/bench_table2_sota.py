@@ -1,0 +1,33 @@
+"""Table 2 — state-of-the-art quantum transport simulators (static survey)."""
+
+from repro.analysis import STATE_OF_THE_ART, render_table
+from repro.analysis.report import report
+
+
+def test_table2_state_of_the_art(benchmark):
+    rows = benchmark(lambda: STATE_OF_THE_ART)
+    body = [
+        [
+            c.name,
+            c.tb_gf_e,
+            c.tb_gf_ph,
+            c.tb_gf_sse,
+            c.dft_gf_e,
+            c.dft_gf_ph,
+            c.dft_gf_sse,
+            c.max_cores,
+            "yes" if c.gpus else "no",
+        ]
+        for c in rows
+    ]
+    report(
+        render_table(
+            "Table 2: maximum computed atoms (orders of magnitude)",
+            ["tool", "TB GFe", "TB GFph", "TB SSE", "DFT GFe", "DFT GFph",
+             "DFT SSE", "cores", "GPUs"],
+            body,
+            digits=0,
+        )
+    )
+    assert rows[-1].name == "This work"
+    assert rows[-1].dft_gf_sse == 10_000

@@ -1,0 +1,39 @@
+"""Table 3 — single-iteration computational load (Pflop count).
+
+Regenerates the paper's kernel flop counts (contour integral, RGF,
+SSE-OMEN, SSE-DaCe) for the 4,864-atom structure at Nkz in {3..11} and
+prints them next to the paper's values.
+"""
+
+from repro.analysis import render_table, table3_rows
+from repro.analysis.report import report
+
+
+def test_table3_flop_counts(benchmark):
+    rows = benchmark(table3_rows)
+    body = []
+    for r in rows:
+        p = r["paper"]
+        body.append(
+            [
+                r["nkz"],
+                r["ci"], p["ci"],
+                r["rgf"], p["rgf"],
+                r["sse_omen"], p["omen"],
+                r["sse_dace"], p["dace"],
+            ]
+        )
+    report(
+        render_table(
+            "Table 3: single-iteration Pflop (ours vs paper)",
+            ["Nkz", "CI", "(paper)", "RGF", "(paper)",
+             "SSE-OMEN", "(paper)", "SSE-DaCe", "(paper)"],
+            body,
+        )
+    )
+    for r in rows:
+        p = r["paper"]
+        assert abs(r["ci"] - p["ci"]) / p["ci"] < 0.01
+        assert abs(r["rgf"] - p["rgf"]) / p["rgf"] < 0.01
+        assert abs(r["sse_omen"] - p["omen"]) / p["omen"] < 0.01
+        assert abs(r["sse_dace"] - p["dace"]) / p["dace"] < 0.02

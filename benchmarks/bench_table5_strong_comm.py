@@ -1,0 +1,30 @@
+"""Table 5 — strong scaling of SSE communication volume (TiB).
+
+Fixed Nkz = 7 workload with growing process counts; TE = 7, TA = P/7.
+"""
+
+from repro.analysis import render_table, table5_rows
+from repro.analysis.report import report
+
+
+def test_table5_strong_scaling_volume(benchmark):
+    rows = benchmark(table5_rows)
+    body = [
+        [r["P"], r["omen_tib"], r["paper"]["omen"], r["dace_tib"], r["paper"]["dace"]]
+        for r in rows
+    ]
+    report(
+        render_table(
+            "Table 5: strong-scaling SSE communication volume [TiB]",
+            ["P", "OMEN", "(paper)", "DaCe", "(paper)"],
+            body,
+        )
+    )
+    for r in rows:
+        p = r["paper"]
+        assert abs(r["omen_tib"] - p["omen"]) / p["omen"] < 0.005
+        assert abs(r["dace_tib"] - p["dace"]) / p["dace"] < 0.01
+    # Two-orders-of-magnitude reduction, growing with P (§5.1.1).
+    ratios = [r["omen_tib"] / r["dace_tib"] for r in rows]
+    assert ratios[0] > 70
+    assert ratios == sorted(ratios) or max(ratios) / min(ratios) < 1.6

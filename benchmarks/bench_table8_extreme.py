@@ -1,0 +1,44 @@
+"""Table 8 — Summit performance on 10,240 atoms (model prediction).
+
+GF/SSE Pflop counts and per-phase times for the extreme-scale runs; the
+flop columns come from the calibrated §4.3 models, the time columns from
+the Summit machine model (44.5% GF / 6.2% SSE efficiency, fitted
+alltoallv bandwidth).
+"""
+
+from repro.analysis import render_table, table8_rows
+from repro.analysis.report import report
+
+
+def test_table8_extreme_scale(benchmark):
+    rows = benchmark(table8_rows)
+    body = []
+    for r in rows:
+        p = r["paper"]
+        body.append(
+            [
+                r["nkz"], r["nodes"],
+                r["gf_pflop"], p["gf_pflop"],
+                r["gf_t"], p["gf_t"],
+                r["sse_pflop"], p["sse_pflop"],
+                r["sse_t"], p["sse_t"],
+                r["comm_t"], p["comm_t"],
+            ]
+        )
+    report(
+        render_table(
+            "Table 8: Summit, 10,240 atoms (ours vs paper)",
+            ["Nkz", "nodes", "GF Pflop", "(paper)", "GF s", "(paper)",
+             "SSE Pflop", "(paper)", "SSE s", "(paper)", "comm s", "(paper)"],
+            body,
+            digits=1,
+        )
+    )
+    for r in rows:
+        p = r["paper"]
+        assert abs(r["gf_pflop"] - p["gf_pflop"]) / p["gf_pflop"] < 0.03
+        assert abs(r["sse_pflop"] - p["sse_pflop"]) / p["sse_pflop"] < 0.01
+        assert abs(r["gf_t"] - p["gf_t"]) / p["gf_t"] < 0.10
+        assert abs(r["sse_t"] - p["sse_t"]) / p["sse_t"] < 0.10
+        # Communication model: right order of magnitude and trend.
+        assert 0.3 < r["comm_t"] / p["comm_t"] < 1.5

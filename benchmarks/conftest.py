@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import drain
+from repro.negf import (
+    SCBASettings,
+    SCBASimulation,
+    build_device,
+    build_hamiltonian_model,
+    preprocess_phonon_green,
+)
+
+
+@pytest.fixture(scope="session")
+def single_node_workload():
+    """A scaled-down single-node GF+SSE workload (Table 7 analogue)."""
+    dev = build_device(nx_cols=8, ny_rows=4, NB=6, slab_width=2)
+    model = build_hamiltonian_model(dev, Norb=3)
+    st = SCBASettings(
+        NE=24, Nkz=3, Nqz=3, Nw=4, e_min=-1.5, e_max=1.5, eta=1e-3
+    )
+    sim = SCBASimulation(model, st)
+    Gl, Gg, _, _ = sim.solve_electrons(None, None, None)
+    Dl, Dg = sim.solve_phonons(None, None)
+    rev = dev.reverse_neighbor()
+    Dcl = preprocess_phonon_green(Dl, dev.neighbors, rev)
+    return dict(dev=dev, model=model, sim=sim, Gl=Gl, Gg=Gg, Dcl=Dcl)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Re-emit the paper-comparison tables after the benchmark summary."""
+    lines = drain()
+    if lines:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("=", "paper comparison tables")
+        for block in lines:
+            for line in block.splitlines():
+                terminalreporter.write_line(line)

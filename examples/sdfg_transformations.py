@@ -1,0 +1,44 @@
+"""Walk the paper's SSE transformation recipe (Figs. 8 -> 12).
+
+Builds the Σ≷ SDFG, applies each data-centric transformation, executes
+every intermediate graph through the interpreter on the same inputs, and
+reports correctness + cost after each step — the §4.2 story end to end.
+
+Run:  python examples/sdfg_transformations.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import build_stages, random_sse_inputs, run_stage, sse_sigma_reference
+
+
+def main():
+    dims = dict(Nkz=3, NE=6, Nqz=2, Nw=2, N3D=2, NA=6, NB=3, Norb=2)
+    arrays, tables = random_sse_inputs(dims, seed=42)
+    reference = sse_sigma_reference(
+        arrays["G"], arrays["dH"], arrays["D"], tables["__neigh__"]
+    )
+
+    print(f"{'stage':8s} {'time':>9s} {'tasklets':>9s} {'flops':>10s} "
+          f"{'max err':>9s}  description")
+    print("-" * 86)
+    base_time = None
+    for stage in build_stages():
+        t0 = time.perf_counter()
+        sigma, interp = run_stage(stage, dims, arrays, tables)
+        dt = time.perf_counter() - t0
+        base_time = base_time or dt
+        err = np.max(np.abs(sigma - reference))
+        print(
+            f"{stage.name:8s} {dt*1e3:7.1f}ms {interp.report.tasklet_invocations:9d} "
+            f"{interp.report.flops:10d} {err:9.1e}  {stage.description}"
+        )
+    print("-" * 86)
+    print(f"end-to-end interpreted speedup: {base_time / dt:.1f}x "
+          "(same graph semantics, transformed data movement)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Data-centric quantum transport simulation.
+
+A from-scratch Python reproduction of
+
+    A. N. Ziogas, T. Ben-Nun, G. Indalecio Fernández, T. Schneider,
+    M. Luisier, T. Hoefler: "Optimizing the Data Movement in Quantum
+    Transport Simulations via Data-Centric Parallel Programming", SC'19.
+
+Packages
+--------
+``repro.sdfg``
+    Mini-DaCe: symbolic IR, interpreter, memlet propagation, transformations.
+``repro.core``
+    The paper's contribution: the SSE SDFG, the Fig. 9-12 transformation
+    recipe, and the communication-avoiding distribution.
+``repro.negf``
+    The quantum-transport substrate: device structures, Hamiltonians,
+    open boundaries, the recursive Green's function solver, scattering
+    self-energies, and the self-consistent Born (GF <-> SSE) loop.
+``repro.parallel``
+    A simulated-MPI runtime with the OMEN and DaCe communication schedules.
+``repro.model``
+    Machine, performance (flop), communication-volume, and scaling models
+    reproducing the paper's Tables 3-5, 8 and Fig. 13.
+``repro.analysis``
+    Experiment drivers that regenerate every table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

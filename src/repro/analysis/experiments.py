@@ -1,0 +1,261 @@
+"""Experiment drivers: one entry per paper table/figure.
+
+Each function returns structured rows (lists of dicts) that the benchmark
+harness prints in the paper's layout and ``EXPERIMENTS.md`` records.
+Paper values are embedded for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import PAPER_STRUCTURE_10240, SimulationParameters
+from ..model import (
+    PIZ_DAINT,
+    SUMMIT,
+    TIB,
+    comm_volumes,
+    gf_phase_flops,
+    iteration_flops,
+    paper_tiling,
+    predict_times,
+    search_tiling,
+    sse_flops_dace,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "table7_rows",
+    "table8_rows",
+    "fig13_series",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE8",
+]
+
+# Paper-reported values for side-by-side comparison -------------------------
+PAPER_TABLE3 = {
+    3: dict(ci=8.45, rgf=52.95, omen=24.41, dace=12.38),
+    5: dict(ci=14.12, rgf=88.25, omen=67.80, dace=34.19),
+    7: dict(ci=19.77, rgf=123.55, omen=132.89, dace=66.85),
+    9: dict(ci=25.42, rgf=158.85, omen=219.67, dace=110.36),
+    11: dict(ci=31.06, rgf=194.15, omen=328.15, dace=164.71),
+}
+
+PAPER_TABLE4 = {
+    3: dict(P=768, omen=32.11, dace=0.54),
+    5: dict(P=1280, omen=89.18, dace=1.22),
+    7: dict(P=1792, omen=174.80, dace=2.17),
+    9: dict(P=2304, omen=288.95, dace=3.38),
+    11: dict(P=2816, omen=431.65, dace=4.86),
+}
+
+PAPER_TABLE5 = {
+    224: dict(omen=108.24, dace=0.95),
+    448: dict(omen=117.75, dace=1.13),
+    896: dict(omen=136.76, dace=1.48),
+    1792: dict(omen=174.80, dace=2.17),
+    2688: dict(omen=212.84, dace=2.87),
+}
+
+PAPER_TABLE8 = [
+    dict(nkz=11, nodes=1852, gf_pflop=2922, gf_t=75.84, sse_pflop=490, sse_t=95.46, comm_t=44.02),
+    dict(nkz=15, nodes=2580, gf_pflop=3985, gf_t=75.90, sse_pflop=910, sse_t=116.67, comm_t=43.93),
+    dict(nkz=21, nodes=1763, gf_pflop=5579, gf_t=150.38, sse_pflop=1784, sse_t=346.56, comm_t=121.91),
+    dict(nkz=21, nodes=3525, gf_pflop=5579, gf_t=76.09, sse_pflop=1784, sse_t=175.15, comm_t=122.35),
+]
+
+_EVAL_BASE = SimulationParameters(
+    Nkz=3, Nqz=3, NE=706, Nw=70, NA=4864, NB=34, Norb=12, N3D=3, bnum=19
+)
+
+
+def table3_rows() -> List[Dict]:
+    """Single-iteration Pflop per kernel (paper Table 3)."""
+    rows = []
+    for nkz, paper in PAPER_TABLE3.items():
+        p = _EVAL_BASE.replace(Nkz=nkz, Nqz=nkz)
+        f = iteration_flops(p)
+        rows.append(
+            dict(
+                nkz=nkz,
+                ci=f.contour_integral / 1e15,
+                rgf=f.rgf / 1e15,
+                sse_omen=f.sse_omen / 1e15,
+                sse_dace=f.sse_dace / 1e15,
+                paper=paper,
+            )
+        )
+    return rows
+
+
+def table4_rows() -> List[Dict]:
+    """Weak-scaling SSE communication volume in TiB (paper Table 4)."""
+    rows = []
+    for nkz, paper in PAPER_TABLE4.items():
+        P = paper["P"]
+        p = _EVAL_BASE.replace(Nkz=nkz, Nqz=nkz)
+        t = paper_tiling(p, P, TE=nkz)
+        v = comm_volumes(p, P, t.TE, t.TA)
+        s = search_tiling(p, P)
+        rows.append(
+            dict(
+                nkz=nkz,
+                P=P,
+                omen_tib=v.omen_tib,
+                dace_tib=v.dace_tib,
+                search_TE=s.TE,
+                search_TA=s.TA,
+                search_tib=s.total_bytes / TIB,
+                paper=paper,
+            )
+        )
+    return rows
+
+
+def table5_rows() -> List[Dict]:
+    """Strong-scaling SSE communication volume in TiB (paper Table 5)."""
+    p = _EVAL_BASE.replace(Nkz=7, Nqz=7)
+    rows = []
+    for P, paper in PAPER_TABLE5.items():
+        t = paper_tiling(p, P, TE=7)
+        v = comm_volumes(p, P, t.TE, t.TA)
+        rows.append(
+            dict(P=P, omen_tib=v.omen_tib, dace_tib=v.dace_tib, paper=paper)
+        )
+    return rows
+
+
+def table7_rows(
+    nx_cols: int = 8,
+    ny_rows: int = 4,
+    NB: int = 6,
+    Norb: int = 3,
+    Nkz: int = 3,
+    NE: int = 24,
+    Nw: int = 4,
+    repeats: int = 1,
+) -> List[Dict]:
+    """Single-node GF/SSE runtimes of the three variants (measured).
+
+    A scaled-down analogue of Table 7: the same three implementations
+    (naive Python loops, OMEN-structured, DaCe-transformed) run the same
+    workload on one node; absolute times differ from the paper's (different
+    hardware and problem size) but the ordering and the SSE gap reproduce.
+    """
+    from ..negf import (
+        SCBASettings,
+        SCBASimulation,
+        build_device,
+        build_hamiltonian_model,
+        preprocess_phonon_green,
+        sigma_sse,
+    )
+
+    dev = build_device(nx_cols=nx_cols, ny_rows=ny_rows, NB=NB, slab_width=2)
+    model = build_hamiltonian_model(dev, Norb=Norb)
+    st = SCBASettings(
+        NE=NE, Nkz=Nkz, Nqz=Nkz, Nw=Nw, e_min=-1.5, e_max=1.5, eta=1e-3
+    )
+    sim = SCBASimulation(model, st)
+
+    # GF phase (shared by all variants; the paper's GF column varies only
+    # mildly across implementations).
+    t0 = time.perf_counter()
+    Gl, Gg, _, _ = sim.solve_electrons(None, None, None)
+    Dl, Dg = sim.solve_phonons(None, None)
+    gf_time = time.perf_counter() - t0
+
+    rev = dev.reverse_neighbor()
+    Dcl = preprocess_phonon_green(Dl, dev.neighbors, rev)
+    rows = []
+    for variant in ("reference", "omen", "dace"):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            sigma_sse(Gl, model.dH, Dcl, dev.neighbors, +1, variant)
+            best = min(best, time.perf_counter() - t0)
+        label = {"reference": "Python", "omen": "OMEN", "dace": "DaCe"}[variant]
+        rows.append(dict(variant=label, gf_time=gf_time, sse_time=best))
+    return rows
+
+
+def table8_rows() -> List[Dict]:
+    """Summit extreme-run prediction vs paper (Table 8)."""
+    rows = []
+    for paper in PAPER_TABLE8:
+        p = PAPER_STRUCTURE_10240.replace(Nkz=paper["nkz"], Nqz=paper["nkz"])
+        P = paper["nodes"] * SUMMIT.procs_per_node
+        t = predict_times(SUMMIT, p, P, "dace")
+        rows.append(
+            dict(
+                nkz=paper["nkz"],
+                nodes=paper["nodes"],
+                gf_pflop=gf_phase_flops(p) / 1e15,
+                gf_t=t.gf,
+                sse_pflop=sse_flops_dace(p) / 1e15,
+                sse_t=t.sse,
+                comm_t=t.comm,
+                paper=paper,
+            )
+        )
+    return rows
+
+
+def fig13_series(machine_name: str = "both") -> Dict[str, List[Dict]]:
+    """Strong/weak scaling series for Fig. 13 (a: Piz Daint, b: Summit)."""
+    out: Dict[str, List[Dict]] = {}
+    machines = {
+        "piz-daint": (PIZ_DAINT, [224, 448, 896, 1792, 2688, 5400], 256),
+        "summit": (SUMMIT, [114, 228, 456, 912, 1368], 132),
+    }
+    for name, (m, strong_P, weak_ppk) in machines.items():
+        if machine_name not in ("both", name):
+            continue
+        p7 = _EVAL_BASE.replace(Nkz=7, Nqz=7)
+        strong = [
+            dict(
+                P=pt.processes,
+                gpus=pt.gpus,
+                dace_comp=pt.dace.compute,
+                dace_comm=pt.dace.comm,
+                dace_total=pt.dace.total,
+                omen_comp=pt.omen.compute,
+                omen_comm=pt.omen.comm,
+                omen_total=pt.omen.total,
+                speedup=pt.speedup,
+                comm_speedup=pt.comm_speedup,
+            )
+            for pt in strong_scaling(m, p7, strong_P)
+        ]
+        weak = [
+            dict(
+                nkz=pt.nkz,
+                P=pt.processes,
+                gpus=pt.gpus,
+                dace_comp=pt.dace.compute,
+                dace_comm=pt.dace.comm,
+                dace_total=pt.dace.total,
+                omen_comp=pt.omen.compute,
+                omen_comm=pt.omen.comm,
+                omen_total=pt.omen.total,
+                speedup=pt.speedup,
+            )
+            for pt in weak_scaling(m, _EVAL_BASE, [3, 5, 7, 9, 11], weak_ppk)
+        ]
+        # Strong-scaling efficiency of the DaCe variant (paper annotates
+        # 99.8%..74% on Piz Daint).
+        base = strong[0]
+        for row in strong:
+            ideal = base["dace_total"] * base["P"] / row["P"]
+            row["dace_efficiency"] = ideal / row["dace_total"]
+        out[name] = dict(strong=strong, weak=weak)  # type: ignore[assignment]
+    return out

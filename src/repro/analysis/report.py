@@ -1,0 +1,26 @@
+"""Buffered reporting: tables printed by benchmarks survive pytest capture.
+
+Benchmarks call :func:`report`, which prints immediately (visible with
+``-s``) and also buffers the text; the benchmark ``conftest`` drains the
+buffer into the terminal summary so the paper-comparison tables always
+appear in ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["report", "drain"]
+
+_BUFFER: List[str] = []
+
+
+def report(text: str) -> None:
+    print(text)
+    _BUFFER.append(text)
+
+
+def drain() -> List[str]:
+    out = list(_BUFFER)
+    _BUFFER.clear()
+    return out

@@ -1,0 +1,55 @@
+"""Table 2: the quantum-transport simulator landscape (static data).
+
+Maximum computed atoms (orders of magnitude) per physical model, and
+scalability, as surveyed by the paper.  ``None`` marks capabilities a tool
+does not provide ("—" in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["SimulatorCapability", "STATE_OF_THE_ART"]
+
+
+@dataclass(frozen=True)
+class SimulatorCapability:
+    name: str
+    tb_gf_e: Optional[int]  # tight-binding, ballistic electrons
+    tb_gf_ph: Optional[int]  # tight-binding, ballistic phonons
+    tb_gf_sse: Optional[int]  # tight-binding, GF + SSE
+    dft_gf_e: Optional[int]
+    dft_gf_ph: Optional[int]
+    dft_gf_sse: Optional[int]
+    max_cores: Optional[int]
+    gpus: bool
+    note: str = ""
+
+
+STATE_OF_THE_ART: List[SimulatorCapability] = [
+    SimulatorCapability("GOLLUM", 1_000, 1_000, None, 100, 100, None, None, False),
+    SimulatorCapability("Kwant", 10_000, None, None, None, None, None, None, False),
+    SimulatorCapability(
+        "NanoTCAD ViDES", 10_000, None, None, None, None, None, None, False
+    ),
+    SimulatorCapability(
+        "QuantumATK", 10_000, 10_000, None, 1_000, 1_000, None, 1_000, False
+    ),
+    SimulatorCapability(
+        "TB_sim", 100_000, None, 10_000, 1_000, None, None, 10_000, True,
+        note="simplified SSE",
+    ),
+    SimulatorCapability(
+        "NEMO5", 100_000, 100_000, 10_000, None, None, None, 100_000, True,
+        note="simplified SSE",
+    ),
+    SimulatorCapability(
+        "OMEN", 100_000, 100_000, 10_000, 10_000, 10_000, 1_000, 100_000, True,
+        note="1.44 Pflop/s TB (SC11), 15 Pflop/s DFT GF (SC15), 0.16 Pflop/s DFT SSE",
+    ),
+    SimulatorCapability(
+        "This work", None, None, None, 10_000, 10_000, 10_000, 1_000_000, True,
+        note="19.71 Pflop/s DFT GF+SSE",
+    ),
+]

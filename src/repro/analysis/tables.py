@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "fmt"]
+
+
+def fmt(x, digits: int = 2) -> str:
+    """Compact numeric formatting."""
+    if x is None:
+        return "—"
+    if isinstance(x, str):
+        return x
+    if isinstance(x, int):
+        return str(x)
+    ax = abs(x)
+    if ax != 0 and (ax >= 1e5 or ax < 10 ** (-digits)):
+        return f"{x:.{digits}e}"
+    return f"{x:,.{digits}f}"
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: List[Sequence], digits: int = 2
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    srows = [[fmt(c, digits) for c in r] for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line(headers), rule]
+    out.extend(line(r) for r in srows)
+    out.append(rule)
+    return "\n".join(out)

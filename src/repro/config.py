@@ -1,0 +1,125 @@
+"""Simulation parameters (paper Table 1) with range validation.
+
+The paper's Table 1 lists the typical ranges of every quantum-transport
+simulation parameter; :class:`SimulationParameters` encodes them and the
+derived quantities used throughout the models (tensor sizes, flop counts,
+communication volumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["PARAMETER_RANGES", "SimulationParameters", "PAPER_STRUCTURE_4864", "PAPER_STRUCTURE_10240"]
+
+#: Valid ranges from Table 1 (inclusive).  ``NA`` is structure-dependent.
+PARAMETER_RANGES: Dict[str, Tuple[int, int]] = {
+    "Nkz": (1, 21),
+    "Nqz": (1, 21),
+    "NE": (1, 1500),       # paper's typical range is [700, 1500]
+    "Nw": (1, 100),        # paper's typical range is [10, 100]
+    "NA": (1, 1_000_000),
+    "NB": (1, 50),
+    "Norb": (1, 30),
+    "N3D": (3, 3),
+    "bnum": (1, 10_000),
+}
+
+_COMPLEX_BYTES = 16  # complex128
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """A complete QT simulation configuration.
+
+    Attributes mirror Table 1 of the paper:
+
+    * ``Nkz`` / ``Nqz``: electron/phonon momentum points,
+    * ``NE`` / ``Nw``: energy points / phonon frequencies,
+    * ``NA``: atoms, ``NB``: neighbors per atom,
+    * ``Norb``: orbitals per atom, ``N3D``: crystal vibration directions,
+    * ``bnum``: number of block-tridiagonal blocks used by RGF.
+    """
+
+    Nkz: int = 3
+    Nqz: int = 3
+    NE: int = 706
+    Nw: int = 70
+    NA: int = 4864
+    NB: int = 34
+    Norb: int = 12
+    N3D: int = 3
+    bnum: int = 19
+
+    def __post_init__(self):
+        for name, (lo, hi) in PARAMETER_RANGES.items():
+            v = getattr(self, name)
+            if not isinstance(v, int):
+                raise TypeError(f"{name} must be an int, got {type(v).__name__}")
+            if not lo <= v <= hi:
+                raise ValueError(f"{name}={v} outside Table-1 range [{lo}, {hi}]")
+        if self.Nqz > self.Nkz:
+            raise ValueError(
+                f"Nqz={self.Nqz} may not exceed Nkz={self.Nkz} "
+                "(phonon momenta are exchanged between electron momenta)"
+            )
+        if self.Nw > self.NE:
+            raise ValueError(f"Nw={self.Nw} may not exceed NE={self.NE}")
+        if self.NB >= self.NA:
+            raise ValueError(f"NB={self.NB} must be smaller than NA={self.NA}")
+        if self.bnum > self.NA:
+            raise ValueError(f"bnum={self.bnum} may not exceed NA={self.NA}")
+
+    # -- derived tensor sizes (elements) ------------------------------------
+    @property
+    def block_size(self) -> float:
+        """RGF block dimension ``NA*Norb/bnum`` (matrix rows per block)."""
+        return self.NA * self.Norb / self.bnum
+
+    @property
+    def electron_gf_elements(self) -> int:
+        """Elements of one G≷ tensor: [Nkz, NE, NA, Norb, Norb]."""
+        return self.Nkz * self.NE * self.NA * self.Norb**2
+
+    @property
+    def phonon_gf_elements(self) -> int:
+        """Elements of one D≷ tensor: [Nqz, Nw, NA, NB+1, N3D, N3D]."""
+        return self.Nqz * self.Nw * self.NA * (self.NB + 1) * self.N3D**2
+
+    @property
+    def electron_gf_bytes(self) -> int:
+        return self.electron_gf_elements * _COMPLEX_BYTES
+
+    @property
+    def phonon_gf_bytes(self) -> int:
+        return self.phonon_gf_elements * _COMPLEX_BYTES
+
+    def replace(self, **kwargs) -> "SimulationParameters":
+        from dataclasses import replace as _replace
+
+        return _replace(self, **kwargs)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "Nkz": self.Nkz,
+            "Nqz": self.Nqz,
+            "NE": self.NE,
+            "Nw": self.Nw,
+            "NA": self.NA,
+            "NB": self.NB,
+            "Norb": self.Norb,
+            "N3D": self.N3D,
+            "bnum": self.bnum,
+        }
+
+
+#: The 4,864-atom Silicon structure of §5 (W = 2.1 nm, L = 35 nm).
+PAPER_STRUCTURE_4864 = SimulationParameters(
+    Nkz=7, Nqz=7, NE=706, Nw=70, NA=4864, NB=34, Norb=12, N3D=3, bnum=19
+)
+
+#: The 10,240-atom extreme run of §5.2.1 (W = 4.8 nm, L = 35 nm).
+PAPER_STRUCTURE_10240 = SimulationParameters(
+    Nkz=21, Nqz=21, NE=1000, Nw=70, NA=10240, NB=34, Norb=12, N3D=3, bnum=19
+)

@@ -1,0 +1,250 @@
+"""The paper's SSE transformation recipe (Figs. 8 → 12).
+
+Applies, in order, the data-centric transformations of §4.2 to the Σ≷
+SDFG, snapshotting the graph after every step:
+
+========  =====================================  ==============
+Stage     Transformation                         Paper figure
+========  =====================================  ==============
+fig8      (initial dataflow)                     Fig. 8
+fig9      Map Fission (+ ``j``-reduction)        Fig. 9
+fig10b    Redundant-computation removal          Fig. 10b
+fig10c    Data-layout transformation             Fig. 10c
+fig10d    Multiplication fusion (batched GEMM)   Fig. 10d
+fig11c    ω-accumulation GEMM substitution       Fig. 11a-c
+fig12a    Map Expansion (hoist ``(a, b)``)       §4.2
+fig12     Map Fusion                             Fig. 12
+fig12s    Transient shrinking                    Fig. 12 (final)
+========  =====================================  ==============
+
+Every stage is independently executable through the SDFG interpreter;
+:func:`verify_stage` checks bit-level agreement (up to float tolerance)
+with the naive reference kernel.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sdfg import SDFG, IndirectAccess, Memlet, Range, Tasklet, symbols
+from ..sdfg.interpreter import Interpreter
+from ..sdfg.transformations import (
+    ArrayShrink,
+    BatchedOperationSubstitution,
+    DataLayoutTransformation,
+    MapExpansion,
+    MapFission,
+    MapFusion,
+    apply_layout,
+)
+from ..sdfg.transformations.redundancy import RedundantComputationRemoval
+from .sse_sdfg import build_sse_sigma_sdfg, find_map_entry, sse_sigma_reference
+
+__all__ = ["Stage", "build_stages", "verify_stage", "run_stage"]
+
+_G_PERM = (2, 0, 1, 3, 4)
+_SIGMA_PERM = (2, 0, 1, 3, 4)
+_TENSOR_PERM = (3, 4, 2, 0, 1, 5, 6)
+
+
+@dataclass
+class Stage:
+    """A snapshot of the SSE SDFG after one transformation step."""
+
+    name: str
+    description: str
+    sdfg: SDFG
+    input_perms: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    output_perm: Optional[Tuple[int, ...]] = None
+
+    def __repr__(self) -> str:
+        return f"Stage({self.name}: {self.description})"
+
+
+def _batched_dhg_code(g, h):
+    No = h.shape[-1]
+    return {"gh": (g.reshape(-1, No) @ h).reshape(g.shape)}
+
+
+def _batched_dhg_flops(g, h):
+    return 8 * g.shape[0] * g.shape[1] * h.shape[-1] ** 3
+
+
+def _windowed_sigma_code(gh, hd):
+    NE, Nw = gh.shape[0], hd.shape[0]
+    idx = (np.arange(NE)[:, None] - np.arange(Nw)[None, :]) % NE
+    window = gh[idx]  # (NE, Nw, Norb, Norb)
+    return {"out": np.einsum("Ewxy,wyz->Exz", window, hd)}
+
+
+def _windowed_sigma_flops(gh, hd):
+    return 8 * gh.shape[0] * hd.shape[0] * gh.shape[-1] ** 3
+
+
+def build_stages() -> List[Stage]:
+    """Apply the full recipe, returning a snapshot after every step."""
+    Nkz, NE, Nqz, Nw, N3D, NA, NB, Norb = symbols("Nkz NE Nqz Nw N3D NA NB Norb")
+    kz, qz, i, a, b = symbols("kz qz i a b")
+    orb = (0, Norb - 1, 1)
+
+    stages: List[Stage] = []
+    sd = build_sse_sigma_sdfg()
+    layout: Dict[str, Tuple[int, ...]] = {}
+    out_perm: Optional[Tuple[int, ...]] = None
+
+    def snap(name: str, desc: str):
+        stages.append(
+            Stage(name, desc, copy.deepcopy(sd), dict(layout), out_perm)
+        )
+
+    snap("fig8", "initial Σ≷ dataflow")
+    st = sd.states[0]
+
+    # -- Fig. 9: Map Fission ------------------------------------------------
+    MapFission(
+        find_map_entry(st, "sse"), reduce={"dHD": ["j"]}
+    ).apply_checked(sd, st)
+    snap("fig9", "Map Fission: one map per computation, expanded transients")
+
+    # -- Fig. 10b: redundancy removal ----------------------------------------
+    RedundantComputationRemoval(
+        find_map_entry(st, "dHG_mult"), "dHG", ["qz", "w"]
+    ).apply_checked(sd, st)
+    snap("fig10b", "(qz, ω) offsets removed from ∇HG≷ producer")
+
+    # -- Fig. 10c: data layout -----------------------------------------------
+    DataLayoutTransformation("G", _G_PERM).apply_checked(sd, st)
+    DataLayoutTransformation("Sigma", _SIGMA_PERM).apply_checked(sd, st)
+    DataLayoutTransformation("dHG", _TENSOR_PERM).apply_checked(sd, st)
+    DataLayoutTransformation("dHD", _TENSOR_PERM).apply_checked(sd, st)
+    layout = {"G": _G_PERM}
+    out_perm = _SIGMA_PERM
+    snap("fig10c", "contiguous (kz, E) layout for G≷, Σ≷ and transients")
+
+    # -- Fig. 10d: multiplication fusion (batched GEMM over kz, E) -----------
+    f = IndirectAccess("__neigh__", (a, b))
+    t1b = Tasklet(
+        "dHG_gemm",
+        ["g", "h"],
+        ["gh"],
+        _batched_dhg_code,
+        flops=_batched_dhg_flops,
+    )
+    BatchedOperationSubstitution(
+        find_map_entry(st, "dHG_mult"),
+        ["kz", "E"],
+        t1b,
+        in_memlets={
+            "g": Memlet("G", Range([(f, f), (0, Nkz - 1), (0, NE - 1), orb, orb])),
+            "h": Memlet("dH", Range([(a, a), (b, b), (i, i), orb, orb])),
+        },
+        out_memlets={
+            "gh": Memlet(
+                "dHG",
+                Range(
+                    [(a, a), (b, b), (i, i), (0, Nkz - 1), (0, NE - 1), orb, orb]
+                ),
+            )
+        },
+    ).apply_checked(sd, st)
+    snap("fig10d", "Nkz*NE small multiplications fused into one GEMM")
+
+    # -- Fig. 11: ω-accumulation as GEMM ---------------------------------------
+    t3b = Tasklet(
+        "sigma_gemm",
+        ["gh", "hd"],
+        ["out"],
+        _windowed_sigma_code,
+        flops=_windowed_sigma_flops,
+    )
+    BatchedOperationSubstitution(
+        find_map_entry(st, "sigma_acc"),
+        ["E", "w"],
+        t3b,
+        in_memlets={
+            "gh": Memlet(
+                "dHG",
+                Range(
+                    [(a, a), (b, b), (i, i), (kz - qz, kz - qz), (0, NE - 1), orb, orb]
+                ),
+            ),
+            "hd": Memlet(
+                "dHD",
+                Range([(a, a), (b, b), (i, i), (qz, qz), (0, Nw - 1), orb, orb]),
+            ),
+        },
+        out_memlets={
+            "out": Memlet(
+                "Sigma",
+                Range([(a, a), (kz, kz), (0, NE - 1), orb, orb]),
+                wcr="sum",
+            )
+        },
+    ).apply_checked(sd, st)
+    snap("fig11c", "ω accumulation substituted by a windowed GEMM")
+
+    # -- §4.2: hoist (a, b) and fuse -------------------------------------------
+    for label in ("dHG_mult", "dHD_scale", "sigma_acc"):
+        MapExpansion(find_map_entry(st, label), ["a", "b"]).apply_checked(sd, st)
+    snap("fig12a", "(a, b) hoisted to outer maps")
+
+    MapFusion(
+        [
+            find_map_entry(st, "dHG_mult", top_level=True),
+            find_map_entry(st, "dHD_scale", top_level=True),
+            find_map_entry(st, "sigma_acc", top_level=True),
+        ],
+        label="sse_fused",
+    ).apply_checked(sd, st)
+    snap("fig12", "three scopes fused into a single (a, b) map")
+
+    ArrayShrink("dHG", [0, 1], ["a", "b"]).apply_checked(sd, st)
+    ArrayShrink("dHD", [0, 1], ["a", "b"]).apply_checked(sd, st)
+    snap("fig12s", "transients shrunk to per-(a, b) blocks")
+
+    return stages
+
+
+def run_stage(
+    stage: Stage,
+    dims: Dict[str, int],
+    arrays: Dict[str, np.ndarray],
+    tables: Dict[str, np.ndarray],
+) -> Tuple[np.ndarray, Interpreter]:
+    """Execute one stage; returns Σ≷ in the *original* [kz, E, a] layout."""
+    inputs = apply_layout(
+        {k: v for k, v in arrays.items() if k in ("G", "dH", "D")},
+        stage.input_perms,
+    )
+    interp = Interpreter(stage.sdfg)
+    store = interp.run(dims, inputs, tables=tables)
+    sigma = store["Sigma"]
+    if stage.output_perm is not None:
+        inv = np.argsort(stage.output_perm)
+        sigma = np.transpose(sigma, inv)
+    return sigma, interp
+
+
+def verify_stage(
+    stage: Stage,
+    dims: Dict[str, int],
+    arrays: Dict[str, np.ndarray],
+    tables: Dict[str, np.ndarray],
+    reference: Optional[np.ndarray] = None,
+    rtol: float = 1e-10,
+    atol: float = 1e-10,
+) -> float:
+    """Compare a stage against the naive reference; returns the max error."""
+    if reference is None:
+        reference = sse_sigma_reference(
+            arrays["G"], arrays["dH"], arrays["D"], tables["__neigh__"]
+        )
+    sigma, _ = run_stage(stage, dims, arrays, tables)
+    err = float(np.max(np.abs(sigma - reference)))
+    if not np.allclose(sigma, reference, rtol=rtol, atol=atol):
+        raise AssertionError(f"stage {stage.name!r} deviates: max err {err:.3e}")
+    return err

@@ -1,0 +1,56 @@
+"""Performance, communication, machine, and scaling models (§4-5)."""
+
+from .communication import (
+    TIB,
+    CommVolume,
+    comm_volumes,
+    dace_comm_bytes_per_process,
+    dace_comm_total_bytes,
+    omen_comm_bytes_per_process,
+    omen_comm_total_bytes,
+)
+from .distribution import Tiling, factor_pairs, paper_tiling, search_tiling
+from .machine import PIZ_DAINT, SUMMIT, MachineSpec
+from .performance import (
+    C_CONTOUR,
+    C_RGF,
+    IterationFlops,
+    contour_integral_flops,
+    gf_phase_flops,
+    iteration_flops,
+    rgf_flops,
+    sse_flops_dace,
+    sse_flops_omen,
+)
+from .scaling import PhaseTimes, ScalingPoint, predict_times, strong_scaling, weak_scaling
+
+__all__ = [
+    "TIB",
+    "CommVolume",
+    "comm_volumes",
+    "dace_comm_bytes_per_process",
+    "dace_comm_total_bytes",
+    "omen_comm_bytes_per_process",
+    "omen_comm_total_bytes",
+    "Tiling",
+    "factor_pairs",
+    "paper_tiling",
+    "search_tiling",
+    "PIZ_DAINT",
+    "SUMMIT",
+    "MachineSpec",
+    "C_CONTOUR",
+    "C_RGF",
+    "IterationFlops",
+    "contour_integral_flops",
+    "gf_phase_flops",
+    "iteration_flops",
+    "rgf_flops",
+    "sse_flops_dace",
+    "sse_flops_omen",
+    "PhaseTimes",
+    "ScalingPoint",
+    "predict_times",
+    "strong_scaling",
+    "weak_scaling",
+]

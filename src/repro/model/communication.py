@@ -1,0 +1,100 @@
+"""SSE communication-volume models (paper §4.1, Tables 4-5).
+
+Closed-form per-process byte counts for the two SSE communication schemes:
+
+**OMEN** (momentum x energy decomposition, ``Nqz*Nw`` rounds of
+broadcast + point-to-point):
+
+* each process *receives* ``64 * Nkz*(NE/P) * Nqz*Nw * NA*Norb^2`` bytes of
+  electron Green's functions ``G≷``, and
+* sends+receives ``64 * Nqz*Nw*NA*NB*N3D^2`` bytes of phonon ``D≷``/``Π≷``.
+
+**DaCe** (communication-avoiding ``TE x TA`` tiles exchanged with
+``alltoallv``); each process contributes
+
+* ``64 * Nkz*(NE/TE + 2*Nw)*(NA/TA + NB)*Norb^2`` bytes for ``G≷``/``Σ≷``,
+* ``64 * Nqz*Nw*(NA/TA + NB)*NB*N3D^2`` bytes for ``D≷``/``Π≷``.
+
+Summed over all ``P = TE*TA`` processes these reproduce every cell of the
+paper's Tables 4 and 5 at the printed precision (verified in
+``tests/test_communication_model.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimulationParameters
+
+__all__ = [
+    "TIB",
+    "CommVolume",
+    "omen_comm_bytes_per_process",
+    "omen_comm_total_bytes",
+    "dace_comm_bytes_per_process",
+    "dace_comm_total_bytes",
+    "comm_volumes",
+]
+
+TIB = 1024.0**4
+
+
+@dataclass(frozen=True)
+class CommVolume:
+    """Total SSE communication volume of both algorithm variants (bytes)."""
+
+    omen: float
+    dace: float
+
+    @property
+    def omen_tib(self) -> float:
+        return self.omen / TIB
+
+    @property
+    def dace_tib(self) -> float:
+        return self.dace / TIB
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.omen / self.dace
+
+
+def omen_comm_bytes_per_process(p: SimulationParameters, P: int) -> float:
+    """Bytes communicated by one process under OMEN's decomposition."""
+    g_recv = 64.0 * p.Nkz * (p.NE / P) * p.Nqz * p.Nw * p.NA * p.Norb**2
+    d_xchg = 64.0 * p.Nqz * p.Nw * p.NA * p.NB * p.N3D**2
+    return g_recv + d_xchg
+
+
+def omen_comm_total_bytes(p: SimulationParameters, P: int) -> float:
+    """Aggregate OMEN SSE volume: the G≷ replication term is P-independent
+    in total (each process holds ``NE/P`` energies), while the D≷/Π≷
+    broadcast+reduction term grows linearly with P."""
+    return P * omen_comm_bytes_per_process(p, P)
+
+
+def dace_comm_bytes_per_process(
+    p: SimulationParameters, TE: int, TA: int
+) -> float:
+    """Bytes contributed by one process to the alltoallv exchanges."""
+    atoms = p.NA / TA + p.NB
+    g_term = 64.0 * p.Nkz * (p.NE / TE + 2.0 * p.Nw) * atoms * p.Norb**2
+    d_term = 64.0 * p.Nqz * p.Nw * atoms * p.NB * p.N3D**2
+    return g_term + d_term
+
+
+def dace_comm_total_bytes(p: SimulationParameters, TE: int, TA: int) -> float:
+    P = TE * TA
+    return P * dace_comm_bytes_per_process(p, TE, TA)
+
+
+def comm_volumes(
+    p: SimulationParameters, P: int, TE: int, TA: int
+) -> CommVolume:
+    """Both variants' totals for the same process count."""
+    if TE * TA != P:
+        raise ValueError(f"TE*TA = {TE * TA} must equal P = {P}")
+    return CommVolume(
+        omen=omen_comm_total_bytes(p, P),
+        dace=dace_comm_total_bytes(p, TE, TA),
+    )

@@ -1,0 +1,85 @@
+"""Optimal tile-size selection (paper §4.1).
+
+"An optimal communication scheme can subsequently be found by minimizing
+these expressions.  For this work, we perform exhaustive search over the
+feasible tile sizes.  Since the combinations ... are in the order of 10^6
+for most simulation parameters and number of processes, the search
+completes in just a few seconds."
+
+:func:`search_tiling` enumerates every factorization ``P = TE * TA`` (and
+optionally near-factorizations) and returns the volume-minimizing tiling
+of the energy and atom dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..config import SimulationParameters
+from .communication import dace_comm_total_bytes
+
+__all__ = ["Tiling", "factor_pairs", "search_tiling", "paper_tiling"]
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """A (TE, TA) decomposition of the (energy, atom) dimensions."""
+
+    TE: int
+    TA: int
+    total_bytes: float
+
+    @property
+    def processes(self) -> int:
+        return self.TE * self.TA
+
+
+def factor_pairs(P: int) -> List[Tuple[int, int]]:
+    """All ordered factorizations ``P = TE * TA``."""
+    out = []
+    d = 1
+    while d * d <= P:
+        if P % d == 0:
+            out.append((d, P // d))
+            if d != P // d:
+                out.append((P // d, d))
+        d += 1
+    return sorted(out)
+
+
+def search_tiling(
+    p: SimulationParameters,
+    P: int,
+    max_TE: Optional[int] = None,
+    max_TA: Optional[int] = None,
+) -> Tiling:
+    """Exhaustively search the feasible (TE, TA) factorizations of P.
+
+    Feasibility: a tile must contain at least one energy point and one
+    atom (``TE <= NE``, ``TA <= NA``), and may be further constrained by
+    the caller (e.g. whole RGF blocks per atom tile).
+    """
+    max_TE = min(max_TE or p.NE, p.NE)
+    max_TA = min(max_TA or p.NA, p.NA)
+    best: Optional[Tiling] = None
+    for TE, TA in factor_pairs(P):
+        if TE > max_TE or TA > max_TA:
+            continue
+        vol = dace_comm_total_bytes(p, TE, TA)
+        if best is None or vol < best.total_bytes:
+            best = Tiling(TE, TA, vol)
+    if best is None:
+        raise ValueError(
+            f"no feasible (TE, TA) factorization of P={P} with "
+            f"TE<={max_TE}, TA<={max_TA}"
+        )
+    return best
+
+
+def paper_tiling(p: SimulationParameters, P: int, TE: int) -> Tiling:
+    """The fixed tilings the paper reports (TE given, TA = P/TE)."""
+    if P % TE != 0:
+        raise ValueError(f"TE={TE} does not divide P={P}")
+    TA = P // TE
+    return Tiling(TE, TA, dace_comm_total_bytes(p, TE, TA))

@@ -1,0 +1,141 @@
+"""Runtime and scalability prediction (paper Fig. 13 and Table 8).
+
+Combines the flop models (§4.3), the communication-volume models (§4.1)
+and the machine models into per-iteration time predictions for both
+algorithm variants:
+
+* compute time: ``flops / (P * peak_per_process * phase_efficiency)``
+* communication time: ``per-process bytes / effective bandwidth`` plus a
+  latency term (``Nqz*Nw`` rounds for OMEN, one alltoallv for DaCe).
+
+The OMEN per-process volume has a P-independent ``D≷/Π≷`` component, so
+its communication time *plateaus* under strong scaling — the effect that
+dominates Fig. 13 — while the DaCe variant keeps shrinking until the
+``NB``/``2Nw`` halo floors are reached.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..config import SimulationParameters
+from .communication import (
+    dace_comm_bytes_per_process,
+    omen_comm_bytes_per_process,
+)
+from .distribution import Tiling, search_tiling
+from .machine import MachineSpec
+from .performance import gf_phase_flops, sse_flops_dace, sse_flops_omen
+
+__all__ = ["PhaseTimes", "predict_times", "strong_scaling", "weak_scaling", "ScalingPoint"]
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Predicted per-iteration times (seconds) of one variant."""
+
+    variant: str
+    processes: int
+    gf: float
+    sse: float
+    comm: float
+    tiling: Optional[Tiling] = None
+
+    @property
+    def compute(self) -> float:
+        return self.gf + self.sse
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm
+
+
+def predict_times(
+    machine: MachineSpec,
+    p: SimulationParameters,
+    processes: int,
+    variant: str = "dace",
+) -> PhaseTimes:
+    """Predict one GF+SSE iteration on ``processes`` ranks."""
+    if variant not in ("dace", "omen"):
+        raise ValueError(f"unknown variant {variant!r}")
+    gf_t = gf_phase_flops(p) / machine.rate("gf", variant, processes)
+    if variant == "omen":
+        sse_t = sse_flops_omen(p) / machine.rate("sse", "omen", processes)
+        # Broadcast rounds serialize: total volume through aggregate bw.
+        total_bytes = processes * omen_comm_bytes_per_process(p, processes)
+        rounds = p.Nqz * p.Nw
+        latency = rounds * machine.alpha * max(1.0, math.log2(processes))
+        comm_t = total_bytes / machine.bw_omen + latency
+        tiling = None
+    else:
+        tiling = search_tiling(p, processes)
+        sse_t = sse_flops_dace(p) / machine.rate("sse", "dace", processes)
+        bytes_pp = dace_comm_bytes_per_process(p, tiling.TE, tiling.TA)
+        comm_t = bytes_pp / machine.bw_dace + machine.alpha * processes
+    return PhaseTimes(variant, processes, gf_t, sse_t, comm_t, tiling)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve (both variants side by side)."""
+
+    processes: int
+    gpus: int
+    nkz: int
+    dace: PhaseTimes
+    omen: Optional[PhaseTimes]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.omen is None:
+            return None
+        return self.omen.total / self.dace.total
+
+    @property
+    def comm_speedup(self) -> Optional[float]:
+        if self.omen is None or self.dace.comm == 0:
+            return None
+        return self.omen.comm / self.dace.comm
+
+
+def strong_scaling(
+    machine: MachineSpec,
+    p: SimulationParameters,
+    process_counts: Iterable[int],
+    include_omen: bool = True,
+) -> List[ScalingPoint]:
+    """Fixed problem, growing resources (Fig. 13, left panels)."""
+    out = []
+    for P in process_counts:
+        dace = predict_times(machine, p, P, "dace")
+        omen = predict_times(machine, p, P, "omen") if include_omen else None
+        gpus = P * machine.gpus_per_node // machine.procs_per_node
+        out.append(ScalingPoint(P, gpus, p.Nkz, dace, omen))
+    return out
+
+
+def weak_scaling(
+    machine: MachineSpec,
+    base: SimulationParameters,
+    nkz_list: Iterable[int],
+    procs_per_kz: int,
+    include_omen: bool = True,
+) -> List[ScalingPoint]:
+    """Growing momentum grid with proportional resources (Fig. 13, right).
+
+    The GF phase scales with ``Nkz`` and SSE with ``Nkz*Nqz``; ideal weak
+    scaling therefore keeps ``P = procs_per_kz * Nkz`` (the paper's
+    annotation convention).
+    """
+    out = []
+    for nkz in nkz_list:
+        p = base.replace(Nkz=nkz, Nqz=nkz)
+        P = procs_per_kz * nkz
+        dace = predict_times(machine, p, P, "dace")
+        omen = predict_times(machine, p, P, "omen") if include_omen else None
+        gpus = P * machine.gpus_per_node // machine.procs_per_node
+        out.append(ScalingPoint(P, gpus, nkz, dace, omen))
+    return out

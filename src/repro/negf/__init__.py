@@ -1,0 +1,49 @@
+"""Quantum-transport substrate: structures, operators, solvers, SSE, SCBA."""
+
+from .boundary import (
+    lead_self_energy,
+    sancho_rubio,
+    surface_greens_function,
+    transfer_matrix_modes,
+)
+from .hamiltonian import BlockTridiagonal, HamiltonianModel, build_hamiltonian_model
+from .rgf import RGFResult, block_offsets, dense_reference, rgf_solve
+from .scba import SCBAResult, SCBASettings, SCBASimulation, bose, fermi
+from .sparse_kernels import METHODS, generate_rgf_operands, three_matrix_product
+from .sse import (
+    pi_sse,
+    preprocess_phonon_green,
+    retarded_from_lesser_greater,
+    sigma_sse,
+    sse_flop_estimate,
+)
+from .structure import DeviceStructure, build_device
+
+__all__ = [
+    "lead_self_energy",
+    "sancho_rubio",
+    "surface_greens_function",
+    "transfer_matrix_modes",
+    "BlockTridiagonal",
+    "HamiltonianModel",
+    "build_hamiltonian_model",
+    "RGFResult",
+    "block_offsets",
+    "dense_reference",
+    "rgf_solve",
+    "SCBAResult",
+    "SCBASettings",
+    "SCBASimulation",
+    "bose",
+    "fermi",
+    "METHODS",
+    "generate_rgf_operands",
+    "three_matrix_product",
+    "pi_sse",
+    "preprocess_phonon_green",
+    "retarded_from_lesser_greater",
+    "sigma_sse",
+    "sse_flop_estimate",
+    "DeviceStructure",
+    "build_device",
+]

@@ -1,0 +1,419 @@
+"""Self-consistent Born cycle: the GF ⇄ SSE iteration of Fig. 2/6.
+
+One iteration solves the electron and phonon Green's functions for every
+``(E, kz)`` / ``(ω, qz)`` point with RGF under the current scattering
+self-energies, then evaluates the scattering self-energies (Eq. 3-5) from
+the new Green's functions, mixes, and repeats until the Green's-function
+update drops below tolerance — exactly the outer state machine of the
+paper's top-level SDFG (Fig. 6).
+
+Physical conventions (dimensionless units, ħ = e = 1):
+
+* electron boundary occupation: Fermi-Dirac with per-lead chemical
+  potentials (bias window drives current);
+* phonon boundary occupation: Bose-Einstein at the lattice temperature;
+* ``Σᴿ ≈ (Σ> - Σ<)/2`` (paper's Lake-et-al. approximation), likewise Πᴿ;
+* only diagonal (per-atom) Σ blocks are retained; Π keeps the ``NB``
+  bond blocks (§2) — bond blocks crossing RGF slab boundaries are
+  dropped from the phonon linear system (documented approximation, exact
+  for ``slab_width`` ≥ neighbor range + 1 with intra-slab bonds only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Tuple
+
+import numpy as np
+
+from .boundary import lead_self_energy
+from .hamiltonian import BlockTridiagonal, HamiltonianModel
+from .rgf import rgf_solve
+from .sse import pi_sse, preprocess_phonon_green, retarded_from_lesser_greater, sigma_sse
+
+__all__ = ["SCBASettings", "SCBAResult", "SCBASimulation", "fermi", "bose"]
+
+
+def fermi(E: np.ndarray, mu: float, kT: float) -> np.ndarray:
+    """Fermi-Dirac occupation (numerically safe for large arguments)."""
+    x = np.clip((np.asarray(E, dtype=float) - mu) / max(kT, 1e-12), -700, 700)
+    return 1.0 / (1.0 + np.exp(x))
+
+
+def bose(w: np.ndarray, kT: float) -> np.ndarray:
+    """Bose-Einstein occupation; ω -> 0 regularized."""
+    w = np.maximum(np.asarray(w, dtype=float), 1e-9)
+    x = np.clip(w / max(kT, 1e-12), 1e-9, 700)
+    return 1.0 / np.expm1(x)
+
+
+@dataclass
+class SCBASettings:
+    """Numerical controls of the self-consistent Born loop."""
+
+    #: energy window [E_min, E_max] discretized into NE points
+    e_min: float = -2.0
+    e_max: float = 2.0
+    NE: int = 40
+    Nkz: int = 3
+    Nqz: int = 3
+    #: number of phonon frequencies (ω_m = (m+1)·dE, matching the SSE
+    #: index-shift convention)
+    Nw: int = 4
+    eta: float = 1e-3
+    kT_el: float = 0.05
+    kT_ph: float = 0.05
+    mu_left: float = 0.3
+    mu_right: float = -0.3
+    #: electron-phonon coupling strength (scales Eq. 3-5)
+    coupling: float = 0.1
+    mixing: float = 0.5
+    max_iterations: int = 20
+    tolerance: float = 1e-5
+    boundary_method: Literal["sancho-rubio", "transfer-matrix"] = "sancho-rubio"
+    sse_variant: Literal["reference", "omen", "dace"] = "dace"
+
+
+@dataclass
+class SCBAResult:
+    """Converged Green's functions, self-energies, and observables."""
+
+    Gl: np.ndarray
+    Gg: np.ndarray
+    Dl: np.ndarray
+    Dg: np.ndarray
+    Sigma_l: np.ndarray
+    Sigma_g: np.ndarray
+    Pi_l: np.ndarray
+    Pi_g: np.ndarray
+    iterations: int
+    converged: bool
+    history: List[float]
+    #: per-(kz, E) left/right contact currents (Meir-Wingreen integrand)
+    current_left: np.ndarray
+    current_right: np.ndarray
+    #: per-atom electron density
+    density: np.ndarray
+    #: per-atom dissipated power (electron -> phonon energy transfer)
+    dissipation: np.ndarray
+
+    @property
+    def total_current_left(self) -> float:
+        return float(np.sum(self.current_left))
+
+    @property
+    def total_current_right(self) -> float:
+        return float(np.sum(self.current_right))
+
+
+class SCBASimulation:
+    """Dissipative quantum transport on a synthetic device."""
+
+    def __init__(self, model: HamiltonianModel, settings: SCBASettings):
+        self.model = model
+        self.s = settings
+        dev = model.structure
+        self.NA = dev.NA
+        self.NB = dev.NB
+        self.Norb = model.Norb
+        self.N3D = model.N3D
+        self.energies = np.linspace(settings.e_min, settings.e_max, settings.NE)
+        self.dE = self.energies[1] - self.energies[0] if settings.NE > 1 else 1.0
+        self.kz_grid = 2.0 * np.pi * np.arange(settings.Nkz) / settings.Nkz - np.pi
+        self.qz_grid = self.kz_grid[: settings.Nqz]
+        #: phonon frequencies aligned with energy-grid shifts: ω_m = (m+1) dE
+        self.omegas = (np.arange(settings.Nw) + 1) * self.dE
+        self.rev = dev.reverse_neighbor()
+        self._atom_slices = self._build_atom_slices()
+
+    # -- helpers -------------------------------------------------------------
+    def _build_atom_slices(self) -> List[Tuple[int, slice, slice]]:
+        """Per atom: (block index, orbital slice in block, N3D slice)."""
+        dev = self.model.structure
+        local = {}
+        counters: Dict[int, int] = {}
+        for a in range(self.NA):
+            blk = int(dev.block_of[a])
+            i = counters.get(blk, 0)
+            counters[blk] = i + 1
+            local[a] = (blk, i)
+        out = []
+        for a in range(self.NA):
+            blk, i = local[a]
+            out.append(
+                (
+                    blk,
+                    slice(i * self.Norb, (i + 1) * self.Norb),
+                    slice(i * self.N3D, (i + 1) * self.N3D),
+                )
+            )
+        return out
+
+    # -- electron GF phase ------------------------------------------------------
+    def solve_electrons(
+        self, sigma_r: Optional[np.ndarray], sigma_l: Optional[np.ndarray],
+        sigma_g: Optional[np.ndarray],
+    ):
+        """RGF over the (kz, E) grid.
+
+        ``sigma_*`` are per-atom scattering self-energy tensors
+        ``[Nkz, NE, NA, Norb, Norb]`` (or None in the ballistic limit).
+        Returns ``(Gl, Gg, I_left, I_right)``.
+        """
+        s = self.s
+        shape = (s.Nkz, s.NE, self.NA, self.Norb, self.Norb)
+        Gl = np.zeros(shape, dtype=np.complex128)
+        Gg = np.zeros(shape, dtype=np.complex128)
+        I_L = np.zeros((s.Nkz, s.NE))
+        I_R = np.zeros((s.Nkz, s.NE))
+        for ik, kz in enumerate(self.kz_grid):
+            H = self.model.hamiltonian_blocks(kz)
+            S = self.model.overlap_blocks(kz)
+            for iE, E in enumerate(self.energies):
+                diag, upper, sless, extras = self._electron_system(
+                    H, S, E, ik, iE, sigma_r, sigma_l, sigma_g
+                )
+                res = rgf_solve(diag, upper, sless)
+                self._scatter_to_atoms(res, Gl, Gg, ik, iE)
+                I_L[ik, iE], I_R[ik, iE] = self._contact_currents(res, extras)
+        return Gl, Gg, I_L, I_R
+
+    def _electron_system(self, H, S, E, ik, iE, sigma_r, sigma_l, sigma_g):
+        s = self.s
+        diag = []
+        for i, (h, sv) in enumerate(zip(H.diag, S.diag)):
+            diag.append((E + 1j * s.eta) * sv - h)
+        upper = [E * u_s - u_h for u_h, u_s in zip(H.upper, S.upper)]
+
+        sig_L = lead_self_energy(
+            E, H.diag[0], H.upper[0], "left", S.diag[0], S.upper[0],
+            eta=s.eta, method=s.boundary_method,
+        )
+        sig_R = lead_self_energy(
+            E, H.diag[-1], H.upper[-1], "right", S.diag[-1], S.upper[-1],
+            eta=s.eta, method=s.boundary_method,
+        )
+        diag[0] = diag[0] - sig_L
+        diag[-1] = diag[-1] - sig_R
+
+        gam_L = 1j * (sig_L - sig_L.conj().T)
+        gam_R = 1j * (sig_R - sig_R.conj().T)
+        fL = fermi(E, s.mu_left, s.kT_el)
+        fR = fermi(E, s.mu_right, s.kT_el)
+        sless = [np.zeros_like(b) for b in diag]
+        sgreater_bdry = [np.zeros_like(b) for b in diag]
+        sless[0] = sless[0] + 1j * fL * gam_L
+        sless[-1] = sless[-1] + 1j * fR * gam_R
+        sgreater_bdry[0] = sgreater_bdry[0] - 1j * (1 - fL) * gam_L
+        sgreater_bdry[-1] = sgreater_bdry[-1] - 1j * (1 - fR) * gam_R
+
+        if sigma_r is not None:
+            for a, (blk, orb, _) in enumerate(self._atom_slices):
+                diag[blk][orb, orb] -= sigma_r[ik, iE, a]
+                sless[blk][orb, orb] += sigma_l[ik, iE, a]
+        extras = dict(gam_L=gam_L, gam_R=gam_R, fL=fL, fR=fR)
+        return diag, upper, sless, extras
+
+    def _scatter_to_atoms(self, res, Gl, Gg, ik, iE):
+        for a, (blk, orb, _) in enumerate(self._atom_slices):
+            Gl[ik, iE, a] = res.Gl[blk][orb, orb]
+            Gg[ik, iE, a] = res.Gg[blk][orb, orb]
+
+    def _contact_currents(self, res, extras) -> Tuple[float, float]:
+        """Meir-Wingreen integrand at both contacts.
+
+        ``I = Tr[Σ< G> - Σ> G<]`` with the *boundary* self-energies; in the
+        ballistic limit ``I_L = -I_R`` (flux conservation).
+        """
+        gl0, gg0 = res.Gl[0], res.Gg[0]
+        glN, ggN = res.Gl[-1], res.Gg[-1]
+        gam_L, gam_R = extras["gam_L"], extras["gam_R"]
+        fL, fR = extras["fL"], extras["fR"]
+        sl_L, sg_L = 1j * fL * gam_L, -1j * (1 - fL) * gam_L
+        sl_R, sg_R = 1j * fR * gam_R, -1j * (1 - fR) * gam_R
+        i_l = np.trace(sl_L @ gg0 - sg_L @ gl0)
+        i_r = np.trace(sl_R @ ggN - sg_R @ glN)
+        return float(i_l.real), float(i_r.real)
+
+    # -- phonon GF phase --------------------------------------------------------
+    def solve_phonons(
+        self, pi_r: Optional[np.ndarray], pi_l: Optional[np.ndarray]
+    ):
+        """RGF over the (qz, ω) grid; returns (Dl, Dg) bond tensors.
+
+        The returned tensors have shape ``[Nqz, Nw, NA, NB+1, N3D, N3D]``
+        (block 0 = on-site).  Bond blocks crossing slab boundaries are not
+        produced by the diagonal-block RGF and are left zero.
+        """
+        s = self.s
+        shape = (s.Nqz, s.Nw, self.NA, self.NB + 1, self.N3D, self.N3D)
+        Dl = np.zeros(shape, dtype=np.complex128)
+        Dg = np.zeros(shape, dtype=np.complex128)
+        dev = self.model.structure
+        for iq, qz in enumerate(self.qz_grid):
+            Phi = self.model.dynamical_blocks(qz)
+            for iw, w in enumerate(self.omegas):
+                z = (w + 1j * s.eta) ** 2
+                diag = [z * np.eye(b.shape[0]) - b for b in Phi.diag]
+                upper = [-u for u in Phi.upper]
+
+                pi_L = lead_self_energy(
+                    z.real, Phi.diag[0], Phi.upper[0], "left",
+                    eta=max(s.eta, 2 * w * s.eta), method=s.boundary_method,
+                )
+                pi_R = lead_self_energy(
+                    z.real, Phi.diag[-1], Phi.upper[-1], "right",
+                    eta=max(s.eta, 2 * w * s.eta), method=s.boundary_method,
+                )
+                diag[0] = diag[0] - pi_L
+                diag[-1] = diag[-1] - pi_R
+
+                nb = bose(w, s.kT_ph)
+                gam_L = 1j * (pi_L - pi_L.conj().T)
+                gam_R = 1j * (pi_R - pi_R.conj().T)
+                pless = [np.zeros_like(b) for b in diag]
+                pless[0] = pless[0] + 1j * nb * gam_L
+                pless[-1] = pless[-1] + 1j * nb * gam_R
+
+                if pi_r is not None:
+                    self._add_phonon_scattering(diag, pless, pi_r, pi_l, iq, iw)
+
+                res = rgf_solve(diag, upper, pless)
+                self._scatter_phonons(res, Dl, Dg, iq, iw, dev)
+        return Dl, Dg
+
+    def _add_phonon_scattering(self, diag, pless, pi_r, pi_l, iq, iw):
+        """Insert Π self-energy blocks (on-site + intra-slab bonds)."""
+        dev = self.model.structure
+        for a, (blk, _, vib) in enumerate(self._atom_slices):
+            diag[blk][vib, vib] -= pi_r[iq, iw, a, 0]
+            pless[blk][vib, vib] += pi_l[iq, iw, a, 0]
+            for b in range(self.NB):
+                c = int(dev.neighbors[a, b])
+                blk_c, _, vib_c = self._atom_slices[c]
+                if blk_c != blk:
+                    continue  # cross-slab bond blocks dropped (see module doc)
+                diag[blk][vib, vib_c] -= pi_r[iq, iw, a, 1 + b]
+                pless[blk][vib, vib_c] += pi_l[iq, iw, a, 1 + b]
+
+    def _scatter_phonons(self, res, Dl, Dg, iq, iw, dev):
+        for a, (blk, _, vib) in enumerate(self._atom_slices):
+            Dl[iq, iw, a, 0] = res.Gl[blk][vib, vib]
+            Dg[iq, iw, a, 0] = res.Gg[blk][vib, vib]
+            for b in range(self.NB):
+                c = int(dev.neighbors[a, b])
+                blk_c, _, vib_c = self._atom_slices[c]
+                if blk_c != blk:
+                    continue
+                Dl[iq, iw, a, 1 + b] = res.Gl[blk][vib, vib_c]
+                Dg[iq, iw, a, 1 + b] = res.Gg[blk][vib, vib_c]
+
+    # -- SSE phase -----------------------------------------------------------------
+    def scattering_self_energies(self, Gl, Gg, Dl, Dg):
+        """Evaluate Eq. 3-5 with emission+absorption combinations.
+
+        The frequency integral ``∫ dω/2π`` and momentum averages
+        ``(1/Nqz) Σ_qz`` / ``(1/Nkz) Σ_kz`` of Eqs. (3-5) become the grid
+        prefactors below (``dω = dE`` by the index-shift convention).
+        """
+        s = self.s
+        dev = self.model.structure
+        pre_sigma = s.coupling**2 * self.dE / (2 * np.pi) / max(s.Nqz, 1)
+        pre_pi = s.coupling**2 * self.dE / (2 * np.pi) / max(s.Nkz, 1)
+        Dcl = preprocess_phonon_green(Dl, dev.neighbors, self.rev)
+        Dcg = preprocess_phonon_green(Dg, dev.neighbors, self.rev)
+        v = s.sse_variant
+        dH = self.model.dH
+        # Σ<(E) ~ G<(E-ω) D<(ω) + G<(E+ω) D>(ω)
+        Sl = pre_sigma * (
+            sigma_sse(Gl, dH, Dcl, dev.neighbors, +1, v)
+            + sigma_sse(Gl, dH, Dcg, dev.neighbors, -1, v)
+        )
+        # Σ>(E) ~ G>(E-ω) D>(ω) + G>(E+ω) D<(ω)
+        Sg = pre_sigma * (
+            sigma_sse(Gg, dH, Dcg, dev.neighbors, +1, v)
+            + sigma_sse(Gg, dH, Dcl, dev.neighbors, -1, v)
+        )
+        Pl = pre_pi * pi_sse(Gl, Gg, dH, dev.neighbors, self.rev, s.Nqz, s.Nw, v)
+        Pg = pre_pi * pi_sse(Gg, Gl, dH, dev.neighbors, self.rev, s.Nqz, s.Nw, v)
+        return Sl, Sg, Pl, Pg
+
+    # -- observables --------------------------------------------------------------
+    def _density(self, Gl) -> np.ndarray:
+        """Per-atom electron density: -i ∫ tr G< dE / 2π (summed over kz)."""
+        tr = np.trace(Gl, axis1=-2, axis2=-1)  # [Nkz, NE, NA]
+        return (-1j * tr.sum(axis=(0, 1)) * self.dE / (2 * np.pi)).real / max(
+            self.s.Nkz, 1
+        )
+
+    def _dissipation(self, Gl, Gg, Sl, Sg) -> np.ndarray:
+        """Per-atom electron->phonon power: ∫ E tr[Σ< G> - Σ> G<] dE."""
+        if Sl is None:
+            return np.zeros(self.NA)
+        x = np.einsum(
+            "kEaij,kEaji->kEa", Sl, Gg, optimize=True
+        ) - np.einsum("kEaij,kEaji->kEa", Sg, Gl, optimize=True)
+        w = self.energies[None, :, None]
+        return (
+            (x * w).sum(axis=(0, 1)).real * self.dE / (2 * np.pi) / max(self.s.Nkz, 1)
+        )
+
+    # -- driver ------------------------------------------------------------------
+    def run(self, ballistic: bool = False) -> SCBAResult:
+        """Iterate GF ⇄ SSE to self-consistency (Fig. 2)."""
+        s = self.s
+        Sl = Sg = Sr = None
+        Pl = Pg = Pr = None
+        history: List[float] = []
+        Gl_prev = None
+        converged = False
+        iterations = 0
+
+        max_iter = 1 if ballistic else s.max_iterations
+        for it in range(max_iter):
+            iterations = it + 1
+            Gl, Gg, I_L, I_R = self.solve_electrons(Sr, Sl, Sg)
+            Dl, Dg = self.solve_phonons(Pr, Pl)
+            if Gl_prev is not None:
+                num = np.linalg.norm(Gl - Gl_prev)
+                den = max(np.linalg.norm(Gl), 1e-300)
+                history.append(num / den)
+                if history[-1] < s.tolerance:
+                    converged = True
+                    Gl_prev = Gl
+                    break
+            Gl_prev = Gl
+            if ballistic:
+                converged = True
+                break
+
+            Sl_new, Sg_new, Pl_new, Pg_new = self.scattering_self_energies(
+                Gl, Gg, Dl, Dg
+            )
+            mix = s.mixing
+            Sl = Sl_new if Sl is None else (1 - mix) * Sl + mix * Sl_new
+            Sg = Sg_new if Sg is None else (1 - mix) * Sg + mix * Sg_new
+            Pl = Pl_new if Pl is None else (1 - mix) * Pl + mix * Pl_new
+            Pg = Pg_new if Pg is None else (1 - mix) * Pg + mix * Pg_new
+            Sr = retarded_from_lesser_greater(Sl, Sg)
+            Pr = retarded_from_lesser_greater(Pl, Pg)
+
+        zero_sig = np.zeros_like(Gl)
+        zero_pi = np.zeros_like(Dl)
+        return SCBAResult(
+            Gl=Gl,
+            Gg=Gg,
+            Dl=Dl,
+            Dg=Dg,
+            Sigma_l=Sl if Sl is not None else zero_sig,
+            Sigma_g=Sg if Sg is not None else zero_sig,
+            Pi_l=Pl if Pl is not None else zero_pi,
+            Pi_g=Pg if Pg is not None else zero_pi,
+            iterations=iterations,
+            converged=converged,
+            history=history,
+            current_left=I_L,
+            current_right=I_R,
+            density=self._density(Gl),
+            dissipation=self._dissipation(Gl, Gg, Sl, Sg),
+        )

@@ -1,0 +1,283 @@
+"""Scattering self-energies (paper Eqs. 3-5) — the SSE phase.
+
+Three executable variants of the Σ≷ kernel share one semantics:
+
+* ``reference`` — direct loops over the full 8-D index space (ground
+  truth; use for small problems only);
+* ``omen`` — OMEN's algorithmic structure: one round per ``(qz, ω)`` pair
+  that *recomputes* the ``∇H·G`` products for the shifted Green's
+  functions (the 2x flop overhead the paper's Table 3 quantifies);
+* ``dace`` — the transformed algorithm of §4.2: ``∇HG`` computed once
+  (batched over ``(kz, E)``), then reused by every ``(qz, ω)`` round.
+
+Index conventions (physical):
+
+* momentum is periodic — ``kz - qz`` wraps modulo ``Nkz`` (``Nqz <= Nkz``
+  on matching grids);
+* energy is open — contributions with ``E - ω`` (or ``E + ω``) outside the
+  grid are dropped (zero padding).  ``shift_sign=+1`` consumes
+  ``G(E - ω)`` (phonon emission), ``shift_sign=-1`` consumes ``G(E + ω)``
+  (absorption); the SCBA driver combines both for detailed balance while
+  the benchmarks exercise single paper-form calls.
+
+The phonon Green's function enters pre-combined per Eq. (3):
+``Dcomb = D_ba - D_bb - D_aa + D_ab`` (:func:`preprocess_phonon_green`).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+__all__ = [
+    "preprocess_phonon_green",
+    "sigma_sse",
+    "pi_sse",
+    "retarded_from_lesser_greater",
+    "sse_flop_estimate",
+]
+
+Variant = Literal["reference", "omen", "dace"]
+
+
+def preprocess_phonon_green(
+    D: np.ndarray, neigh: np.ndarray, rev: np.ndarray
+) -> np.ndarray:
+    """Combine phonon GF blocks per Eq. (3).
+
+    ``D`` has shape ``[Nqz, Nw, NA, NB+1, N3D, N3D]`` with block 0 the
+    on-site ``D_aa`` and block ``1+b`` the bond ``D_{a, neigh[a,b]}``.
+    Returns ``Dcomb[q, w, a, b] = D_ba - D_bb - D_aa + D_ab`` of shape
+    ``[Nqz, Nw, NA, NB, N3D, N3D]``.
+    """
+    Nq, Nw, NA, NBp1, N3D, _ = D.shape
+    NB = NBp1 - 1
+    nb = neigh  # (NA, NB)
+    D_ab = D[:, :, :, 1:]  # [q,w,a,b,i,j]
+    D_aa = D[:, :, :, :1]  # broadcast over b
+    D_bb = D[:, :, nb, 0]  # [q,w,a,b,i,j] via fancy index on atom axis
+    # D_ba: at atom nb[a,b], the bond pointing back to a is rev[a,b].
+    D_ba = D[:, :, nb, 1 + rev]  # [q,w,a,b,i,j]
+    return D_ba - D_bb - D_aa + D_ab
+
+
+def _shifted_energy_slices(NE: int, w: int, sign: int):
+    """Aligned (source, destination) energy slices for a shift of ``w``.
+
+    ``sign=+1``: Σ(E) consumes G(E - w) -> source ``[0, NE-w)`` feeds
+    destination ``[w, NE)``.  ``sign=-1``: Σ(E) consumes G(E + w).
+    """
+    if w == 0:
+        return slice(0, NE), slice(0, NE)
+    if sign > 0:
+        return slice(0, NE - w), slice(w, NE)
+    return slice(w, NE), slice(0, NE - w)
+
+
+def sigma_sse(
+    G: np.ndarray,
+    dH: np.ndarray,
+    Dcomb: np.ndarray,
+    neigh: np.ndarray,
+    shift_sign: int = +1,
+    variant: Variant = "dace",
+) -> np.ndarray:
+    """One Σ≷ evaluation (Eq. 3 / Fig. 5 kernel).
+
+    Parameters
+    ----------
+    G:
+        Electron GF diagonal blocks ``[Nkz, NE, NA, Norb, Norb]``.
+    dH:
+        Hamiltonian derivative ``[NA, NB, N3D, Norb, Norb]``.
+    Dcomb:
+        Combined phonon GF ``[Nqz, Nw, NA, NB, N3D, N3D]``.
+    neigh:
+        ``[NA, NB]`` neighbor indices (the ``f(a, b)`` indirection).
+    """
+    if variant == "reference":
+        return _sigma_reference(G, dH, Dcomb, neigh, shift_sign)
+    if variant == "omen":
+        return _sigma_omen(G, dH, Dcomb, neigh, shift_sign)
+    if variant == "dace":
+        return _sigma_dace(G, dH, Dcomb, neigh, shift_sign)
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def _sigma_reference(G, dH, Dcomb, neigh, sign) -> np.ndarray:
+    Nkz, NE, NA, No, _ = G.shape
+    Nqz, Nw, _, NB, N3D, _ = Dcomb.shape
+    Sigma = np.zeros_like(G)
+    for k in range(Nkz):
+        for E in range(NE):
+            for q in range(Nqz):
+                for w in range(Nw):
+                    Es = E - sign * w
+                    if Es < 0 or Es >= NE:
+                        continue
+                    ks = (k - q) % Nkz
+                    for i in range(N3D):
+                        for j in range(N3D):
+                            for a in range(NA):
+                                for b in range(NB):
+                                    f = neigh[a, b]
+                                    gh = G[ks, Es, f] @ dH[a, b, i]
+                                    hd = dH[a, b, j] * Dcomb[q, w, a, b, i, j]
+                                    Sigma[k, E, a] += gh @ hd
+    return Sigma
+
+
+def _hd_tensor(dH, Dcomb) -> np.ndarray:
+    """``Σ_j dH[a,b,j] * Dcomb[q,w,a,b,i,j]`` -> [q,w,a,b,i,orb,orb]."""
+    return np.einsum("qwabij,abjxy->qwabixy", Dcomb, dH, optimize=True)
+
+
+def _sigma_omen(G, dH, Dcomb, neigh, sign) -> np.ndarray:
+    """Per-(qz, ω) rounds, recomputing ∇H·G(E∓ω, kz-qz) every round."""
+    Nkz, NE, NA, No, _ = G.shape
+    Nqz, Nw, _, NB, N3D, _ = Dcomb.shape
+    Sigma = np.zeros_like(G)
+    hd = _hd_tensor(dH, Dcomb)
+    Gf = G[:, :, neigh]  # [k,E,a,b,No,No]
+    for q in range(Nqz):
+        Gq = np.roll(Gf, q, axis=0)  # index (k - q) mod Nkz
+        for w in range(Nw):
+            src, dst = _shifted_energy_slices(NE, w, sign)
+            # The OMEN structure recomputes the ∇H·G product each round.
+            gh = np.einsum(
+                "kEabxy,abiyz->kEabixz", Gq[:, src], dH, optimize=True
+            )
+            Sigma[:, dst] += np.einsum(
+                "kEabixy,abiyz->kEaxz", gh, hd[q, w], optimize=True
+            )
+    return Sigma
+
+
+def _sigma_dace(G, dH, Dcomb, neigh, sign) -> np.ndarray:
+    """Transformed algorithm: ∇H·G computed once, reused by all rounds."""
+    Nkz, NE, NA, No, _ = G.shape
+    Nqz, Nw, _, NB, N3D, _ = Dcomb.shape
+    Sigma = np.zeros_like(G)
+    hd = _hd_tensor(dH, Dcomb)
+    Gf = G[:, :, neigh]  # [k,E,a,b,No,No]
+    # Fig. 10b-d: the (qz, ω)-independent ∇H·G tensor, batched over (kz, E).
+    gh = np.einsum("kEabxy,abiyz->kEabixz", Gf, dH, optimize=True)
+    for q in range(Nqz):
+        ghq = np.roll(gh, q, axis=0)
+        for w in range(Nw):
+            src, dst = _shifted_energy_slices(NE, w, sign)
+            Sigma[:, dst] += np.einsum(
+                "kEabixy,abiyz->kEaxz", ghq[:, src], hd[q, w], optimize=True
+            )
+    return Sigma
+
+
+def pi_sse(
+    G_plus: np.ndarray,
+    G_minus: np.ndarray,
+    dH: np.ndarray,
+    neigh: np.ndarray,
+    rev: np.ndarray,
+    Nqz: int,
+    Nw: int,
+    variant: Variant = "dace",
+) -> np.ndarray:
+    """One Π≷ evaluation (Eqs. 4-5).
+
+    ``Π≷[q,w,a,0]`` is the on-site block (Eq. 4, minus sign, summed over
+    neighbors) and ``Π≷[q,w,a,1+b]`` the bond block (Eq. 5):
+
+    ``Π≷_ab(ω, qz) = Σ_{kz} Σ_E tr{ ∇iH_ba G≷_aa(E+ω, kz+qz)
+    ∇jH_ab G≶_bb(E, kz) }``
+
+    Parameters
+    ----------
+    G_plus:
+        ``G≷`` — shifted to ``(E + ω, kz + qz)`` internally.
+    G_minus:
+        ``G≶`` — the opposite-sign GF, evaluated at ``(E, kz)``.
+    """
+    if variant == "reference":
+        return _pi_reference(G_plus, G_minus, dH, neigh, rev, Nqz, Nw)
+    if variant in ("dace", "omen"):
+        return _pi_vectorized(G_plus, G_minus, dH, neigh, rev, Nqz, Nw)
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def _pi_reference(Gp, Gm, dH, neigh, rev, Nqz, Nw) -> np.ndarray:
+    Nkz, NE, NA, No, _ = Gp.shape
+    _, NB, N3D, _, _ = dH.shape
+    Pi = np.zeros((Nqz, Nw, NA, NB + 1, N3D, N3D), dtype=np.complex128)
+    for q in range(Nqz):
+        for w in range(Nw):
+            for k in range(Nkz):
+                for E in range(NE):
+                    if E + w >= NE:
+                        continue
+                    kp = (k + q) % Nkz
+                    for a in range(NA):
+                        for b in range(NB):
+                            nb = neigh[a, b]
+                            r = rev[a, b]
+                            for i in range(N3D):
+                                for j in range(N3D):
+                                    val = np.trace(
+                                        dH[nb, r, i]
+                                        @ Gp[kp, E + w, a]
+                                        @ dH[a, b, j]
+                                        @ Gm[k, E, nb]
+                                    )
+                                    Pi[q, w, a, 1 + b, i, j] += val
+                                    Pi[q, w, a, 0, i, j] -= val
+    return Pi
+
+
+def _pi_vectorized(Gp, Gm, dH, neigh, rev, Nqz, Nw) -> np.ndarray:
+    Nkz, NE, NA, No, _ = Gp.shape
+    _, NB, N3D, _, _ = dH.shape
+    Pi = np.zeros((Nqz, Nw, NA, NB + 1, N3D, N3D), dtype=np.complex128)
+    dH_ba = dH[neigh, rev]  # [a,b,i,No,No] — ∇H_ba blocks
+    Gm_b = Gm[:, :, neigh]  # [k,E,a,b,No,No]
+    for q in range(Nqz):
+        Gp_q = np.roll(Gp, -q, axis=0)  # index (k + q) mod Nkz
+        for w in range(Nw):
+            if w >= NE:
+                continue
+            src_hi = slice(w, NE)  # E + w values
+            src_lo = slice(0, NE - w)
+            off = np.einsum(
+                "abixy,kEayz,abjzu,kEabux->abij",
+                dH_ba,
+                Gp_q[:, src_hi],
+                dH,
+                Gm_b[:, src_lo],
+                optimize=True,
+            )
+            Pi[q, w, :, 1:] += off
+            Pi[q, w, :, 0] -= off.sum(axis=1)
+    return Pi
+
+
+def retarded_from_lesser_greater(less: np.ndarray, greater: np.ndarray) -> np.ndarray:
+    """The paper's retarded approximation ``Σᴿ ≈ (Σ> - Σ<)/2`` [Lake et al.]."""
+    return 0.5 * (greater - less)
+
+
+def sse_flop_estimate(
+    Nkz: int, NE: int, Nqz: int, Nw: int, NA: int, NB: int, N3D: int, Norb: int,
+    variant: Variant = "dace",
+) -> float:
+    """Complex-flop estimate matching the §4.3 model structure.
+
+    One complex ``Norb³`` matmul costs ``8 Norb³`` real flops; OMEN performs
+    two per (kz,E,qz,ω,i,a,b) point, the transformed variant one plus a
+    (qz,ω)-independent term.
+    """
+    unit = 8.0 * Norb**3 * NA * NB * N3D
+    full = unit * Nkz * NE * Nqz * Nw
+    if variant == "omen":
+        return 2.0 * full
+    if variant == "dace":
+        return full + unit * Nkz * NE
+    raise ValueError(f"no flop model for variant {variant!r}")

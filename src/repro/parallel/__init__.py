@@ -1,0 +1,15 @@
+"""Simulated-MPI runtime, data decompositions, and SSE schedules."""
+
+from .decomposition import DaceDecomposition, OmenDecomposition
+from .schedules import DistributedSSEResult, dace_sse_phase, omen_sse_phase
+from .simmpi import CommStats, SimComm
+
+__all__ = [
+    "DaceDecomposition",
+    "OmenDecomposition",
+    "DistributedSSEResult",
+    "dace_sse_phase",
+    "omen_sse_phase",
+    "CommStats",
+    "SimComm",
+]

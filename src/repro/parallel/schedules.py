@@ -1,0 +1,393 @@
+"""Executable SSE communication schedules (paper §4.1) on simulated MPI.
+
+Both schedules move the *actual* Green's-function data between per-rank
+stores and compute the *actual* scattering self-energies, so their results
+are directly comparable (bit-level, up to float summation order) with the
+serial kernels of :mod:`repro.negf.sse` while
+:class:`~repro.parallel.simmpi.SimComm` meters every transferred byte.
+
+**OMEN schedule** — ``Nqz*Nw`` rounds; in each round the phonon GF
+``D≷(qz, ω)`` is broadcast, every rank receives the shifted electron GF
+windows ``G≷(E∓ω, kz-qz)`` it needs (4 windows: lesser/greater x
+emission/absorption — the paper's "replicated 2·Nqz·Nω times"), computes
+its Σ contribution locally, and the partial ``Π≷(qz, ω)`` are reduced to
+their owner.
+
+**DaCe schedule** — a single ``alltoallv`` redistributes ``G≷`` from the
+GF layout (momentum x energy) into ``TE x TA`` tiles with ``±Nω`` energy
+halo and neighbor-closure atom halo; each rank runs the transformed
+(∇H·G-reuse) kernel on its tile; Σ≷ tiles return with a second
+``alltoallv`` and Π≷ partials are reduced.
+
+Physics conventions follow :func:`repro.negf.sse.sigma_sse`: zero-padded
+energy axis, periodic momentum, emission+absorption pairing
+(Σ< ~ G<(E-ω)D< + G<(E+ω)D>).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .decomposition import DaceDecomposition, OmenDecomposition
+from .simmpi import CommStats, SimComm
+
+__all__ = ["DistributedSSEResult", "omen_sse_phase", "dace_sse_phase"]
+
+
+@dataclass
+class DistributedSSEResult:
+    """Assembled self-energies plus communication statistics."""
+
+    Sigma_l: np.ndarray
+    Sigma_g: np.ndarray
+    Pi_l: np.ndarray
+    Pi_g: np.ndarray
+    stats: CommStats
+
+
+def _hd(Dc_qw: np.ndarray, dH: np.ndarray) -> np.ndarray:
+    """``Σ_j dH[a,b,j] * Dcomb[a,b,i,j]`` for one (qz, ω) -> [a,b,i,x,y]."""
+    return np.einsum("abij,abjxy->abixy", Dc_qw, dH, optimize=True)
+
+
+def _sigma_contrib(
+    G_rows: np.ndarray, hd_rows: np.ndarray, dH: np.ndarray, neigh: np.ndarray
+) -> np.ndarray:
+    """Σ contribution for aligned source rows: [E, a, x, z].
+
+    ``G_rows``: shifted GF ``[E, NA_src, No, No]`` (already at kz-qz and
+    E∓ω); ``hd_rows``: ``[a, b, i, No, No]``.
+    """
+    gh = np.einsum(
+        "Eabxy,abiyz->Eabixz", G_rows[:, neigh], dH, optimize=True
+    )
+    return np.einsum("Eabixy,abiyz->Eaxz", gh, hd_rows, optimize=True)
+
+
+def _pi_contrib(
+    G_own_rows: np.ndarray,
+    G_recv_rows: np.ndarray,
+    dH: np.ndarray,
+    dH_ba: np.ndarray,
+    neigh: np.ndarray,
+) -> np.ndarray:
+    """Bond-resolved Π contribution ``[a, b, i, j]`` for aligned rows.
+
+    ``G_own_rows``: ``G≷`` at ``(kz+qz, E+ω)`` (the rank's own rows play
+    the shifted role); ``G_recv_rows``: ``G≶`` at ``(kz, E)``.
+    """
+    return np.einsum(
+        "abixy,Eayz,abjzu,Eabux->abij",
+        dH_ba,
+        G_own_rows,
+        dH,
+        G_recv_rows[:, neigh],
+        optimize=True,
+    )
+
+
+# --------------------------------------------------------------------------
+# OMEN schedule
+# --------------------------------------------------------------------------
+def omen_sse_phase(
+    comm: SimComm,
+    decomp: OmenDecomposition,
+    Gl: np.ndarray,
+    Gg: np.ndarray,
+    dH: np.ndarray,
+    Dcl: np.ndarray,
+    Dcg: np.ndarray,
+    neigh: np.ndarray,
+    rev: np.ndarray,
+) -> DistributedSSEResult:
+    """The momentum x energy decomposition with per-(qz, ω) rounds."""
+    Nkz, NE, NA, No, _ = Gl.shape
+    Nqz, Nw, _, NB = Dcl.shape[:4]
+    P = comm.P
+
+    Sigma_l = np.zeros_like(Gl)
+    Sigma_g = np.zeros_like(Gg)
+    Pi_shape = (Nqz, Nw, NA, NB + 1, dH.shape[2], dH.shape[2])
+    Pi_l = np.zeros(Pi_shape, dtype=np.complex128)
+    Pi_g = np.zeros(Pi_shape, dtype=np.complex128)
+    dH_ba = dH[neigh, rev]
+
+    for q in range(Nqz):
+        for w in range(Nw):
+            round_idx = q * Nw + w
+            d_owner = round_idx % P
+            # Broadcast the phonon GF of this round (both ≷ components).
+            d_pack = np.stack([Dcl[q, w], Dcg[q, w]])
+            d_copies = comm.bcast(d_owner, d_pack)
+
+            pi_l_parts: List[np.ndarray] = []
+            pi_g_parts: List[np.ndarray] = []
+            for rank in range(P):
+                k, _ = decomp.coords(rank)
+                esl = decomp.energy_slice(rank)
+                ks = (k - q) % Nkz
+                hd_l = _hd(d_copies[rank][0], dH)
+                hd_g = _hd(d_copies[rank][1], dH)
+
+                # Emission window: G(E-ω) for E in the chunk.
+                em_lo, em_hi = max(0, esl.start - w), max(0, esl.stop - w)
+                dst_em = slice(esl.stop - (em_hi - em_lo), esl.stop)
+                # Absorption window: G(E+ω).
+                ab_lo, ab_hi = min(NE, esl.start + w), min(NE, esl.stop + w)
+                dst_ab = slice(esl.start, esl.start + (ab_hi - ab_lo))
+
+                G_em_l = _gather_window(comm, decomp, Gl, ks, em_lo, em_hi, rank)
+                G_em_g = _gather_window(comm, decomp, Gg, ks, em_lo, em_hi, rank)
+                G_ab_l = _gather_window(comm, decomp, Gl, ks, ab_lo, ab_hi, rank)
+                G_ab_g = _gather_window(comm, decomp, Gg, ks, ab_lo, ab_hi, rank)
+
+                if em_hi > em_lo:
+                    Sigma_l[k, dst_em] += _sigma_contrib(G_em_l, hd_l, dH, neigh)
+                    Sigma_g[k, dst_em] += _sigma_contrib(G_em_g, hd_g, dH, neigh)
+                if ab_hi > ab_lo:
+                    Sigma_l[k, dst_ab] += _sigma_contrib(G_ab_l, hd_g, dH, neigh)
+                    Sigma_g[k, dst_ab] += _sigma_contrib(G_ab_g, hd_l, dH, neigh)
+
+                # Π partials: own rows are the shifted (E+ω, kz+qz) points,
+                # paired with the emission-window data already received.
+                own = slice(dst_em.start, dst_em.stop)
+                pl = np.zeros(Pi_shape[2:], dtype=np.complex128)
+                pg = np.zeros(Pi_shape[2:], dtype=np.complex128)
+                if em_hi > em_lo:
+                    off_l = _pi_contrib(Gl[k, own], G_em_g, dH, dH_ba, neigh)
+                    off_g = _pi_contrib(Gg[k, own], G_em_l, dH, dH_ba, neigh)
+                    pl[:, 1:] += off_l
+                    pl[:, 0] -= off_l.sum(axis=1)
+                    pg[:, 1:] += off_g
+                    pg[:, 0] -= off_g.sum(axis=1)
+                pi_l_parts.append(pl)
+                pi_g_parts.append(pg)
+
+            Pi_l[q, w] = comm.reduce_sum(d_owner, pi_l_parts)
+            Pi_g[q, w] = comm.reduce_sum(d_owner, pi_g_parts)
+
+    return DistributedSSEResult(Sigma_l, Sigma_g, Pi_l, Pi_g, comm.stats)
+
+
+def _gather_window(
+    comm: SimComm,
+    decomp: OmenDecomposition,
+    G: np.ndarray,
+    ks: int,
+    lo: int,
+    hi: int,
+    dst_rank: int,
+) -> np.ndarray:
+    """Receive ``G[ks, lo:hi]`` from its owners via point-to-point sends."""
+    if hi <= lo:
+        return G[ks, 0:0]
+    pieces = []
+    e = lo
+    while e < hi:
+        owner = decomp.owner_of_energy(ks, e)
+        stop = min(hi, (e // decomp.chunk + 1) * decomp.chunk)
+        pieces.append(comm.sendrecv(owner, dst_rank, G[ks, e:stop]))
+        e = stop
+    return np.concatenate(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+
+
+# --------------------------------------------------------------------------
+# DaCe schedule
+# --------------------------------------------------------------------------
+def dace_sse_phase(
+    comm: SimComm,
+    gf_decomp: OmenDecomposition,
+    sse_decomp: DaceDecomposition,
+    Gl: np.ndarray,
+    Gg: np.ndarray,
+    dH: np.ndarray,
+    Dcl: np.ndarray,
+    Dcg: np.ndarray,
+    neigh: np.ndarray,
+    rev: np.ndarray,
+) -> DistributedSSEResult:
+    """The communication-avoiding TE x TA tile schedule."""
+    if comm.P != gf_decomp.P or comm.P != sse_decomp.P:
+        raise ValueError("communicator and decompositions disagree on P")
+    Nkz, NE, NA, No, _ = Gl.shape
+    Nqz, Nw, _, NB = Dcl.shape[:4]
+    P = comm.P
+    N3D = dH.shape[2]
+    dH_ba = dH[neigh, rev]
+
+    # ---- Phase A: GF layout -> SSE tiles (one alltoallv) --------------------
+    windows = [sse_decomp.energy_window(j) for j in range(P)]
+    closures = [sse_decomp.atom_closure(j, neigh) for j in range(P)]
+    sendbufs: List[List[Optional[np.ndarray]]] = [
+        [None] * P for _ in range(P)
+    ]
+    for i in range(P):
+        k, _ = gf_decomp.coords(i)
+        esl = gf_decomp.energy_slice(i)
+        for j in range(P):
+            win = windows[j]
+            lo, hi = max(esl.start, win.start), min(esl.stop, win.stop)
+            if hi <= lo:
+                continue
+            ext = closures[j]
+            # Both ≷ tensors travel together.
+            sendbufs[i][j] = np.stack(
+                [Gl[k, lo:hi][:, ext], Gg[k, lo:hi][:, ext]]
+            )
+    recv = comm.alltoallv(sendbufs)
+
+    # Each SSE rank assembles G_ext[2, Nkz, win, ext, No, No].
+    G_ext: List[np.ndarray] = []
+    for j in range(P):
+        win, ext = windows[j], closures[j]
+        buf = np.zeros(
+            (2, Nkz, win.stop - win.start, len(ext), No, No), dtype=np.complex128
+        )
+        for i in range(P):
+            if recv[j][i] is None:
+                continue
+            k, _ = gf_decomp.coords(i)
+            esl = gf_decomp.energy_slice(i)
+            lo = max(esl.start, win.start)
+            hi = min(esl.stop, win.stop)
+            buf[:, k, lo - win.start : hi - win.start] = recv[j][i]
+        G_ext.append(buf)
+
+    # The phonon GFs reach each tile from their owner (rank 0 store).
+    d_tiles: List[np.ndarray] = []
+    for j in range(P):
+        tile = sse_decomp.atom_tile(j)
+        pack = np.stack([Dcl[:, :, tile], Dcg[:, :, tile]])
+        d_tiles.append(comm.sendrecv(0, j, pack))
+
+    # ---- Phase B: local transformed kernel ------------------------------------
+    sigma_tiles: List[np.ndarray] = []
+    pi_parts_l: List[np.ndarray] = []
+    pi_parts_g: List[np.ndarray] = []
+    pi_shape = (Nqz, Nw, NA, NB + 1, N3D, N3D)
+    for j in range(P):
+        win, ext = windows[j], closures[j]
+        lookup = sse_decomp.local_index(ext)
+        tile = sse_decomp.atom_tile(j)
+        etile = sse_decomp.energy_tile(j)
+        tl = lookup[tile]  # tile atoms in local coords
+        f_local = lookup[neigh[tile]]  # (a_tile, NB) local neighbor idx
+        Gle, Gge = G_ext[j][0], G_ext[j][1]
+        Dcl_t, Dcg_t = d_tiles[j][0], d_tiles[j][1]
+        dH_t, dH_ba_t = dH[tile], dH_ba[tile]
+        neigh_loc = f_local
+
+        # ∇H·G computed ONCE per tile over the whole halo window (the
+        # transformed algorithm's reuse; contrast with the OMEN rounds).
+        gh_l = np.einsum(
+            "kEabxy,abiyz->kEabixz", Gle[:, :, neigh_loc], dH_t, optimize=True
+        )
+        gh_g = np.einsum(
+            "kEabxy,abiyz->kEabixz", Gge[:, :, neigh_loc], dH_t, optimize=True
+        )
+
+        n_et = etile.stop - etile.start
+        sig = np.zeros((2, Nkz, n_et, len(tile), No, No), dtype=np.complex128)
+        pl = np.zeros(pi_shape, dtype=np.complex128)
+        pg = np.zeros(pi_shape, dtype=np.complex128)
+        for q in range(Nqz):
+            ghq_l = np.roll(gh_l, q, axis=0)
+            ghq_g = np.roll(gh_g, q, axis=0)
+            Glq = np.roll(Gle, q, axis=0)
+            Ggq = np.roll(Gge, q, axis=0)
+            for w in range(Nw):
+                hd_l = _hd(Dcl_t[q, w], dH_t)
+                hd_g = _hd(Dcg_t[q, w], dH_t)
+                # Emission: rows E-w for E in the tile (zero-padded).
+                em_lo = max(0, etile.start - w)
+                em_hi = max(0, etile.stop - w)
+                dst_em = slice(n_et - (em_hi - em_lo), n_et)
+                src_em = slice(em_lo - win.start, em_hi - win.start)
+                # Absorption: rows E+w.
+                ab_lo = min(NE, etile.start + w)
+                ab_hi = min(NE, etile.stop + w)
+                dst_ab = slice(0, ab_hi - ab_lo)
+                src_ab = slice(ab_lo - win.start, ab_hi - win.start)
+
+                if em_hi > em_lo:
+                    sig[0, :, dst_em] += np.einsum(
+                        "kEabixy,abiyz->kEaxz", ghq_l[:, src_em], hd_l, optimize=True
+                    )
+                    sig[1, :, dst_em] += np.einsum(
+                        "kEabixy,abiyz->kEaxz", ghq_g[:, src_em], hd_g, optimize=True
+                    )
+                if ab_hi > ab_lo:
+                    sig[0, :, dst_ab] += np.einsum(
+                        "kEabixy,abiyz->kEaxz", ghq_l[:, src_ab], hd_g, optimize=True
+                    )
+                    sig[1, :, dst_ab] += np.einsum(
+                        "kEabixy,abiyz->kEaxz", ghq_g[:, src_ab], hd_l, optimize=True
+                    )
+
+                # Π partials over (tile atoms, own E rows E''=E+w).
+                own = slice(
+                    etile.start - win.start + (n_et - (em_hi - em_lo)),
+                    etile.stop - win.start,
+                )
+                if em_hi > em_lo:
+                    for k in range(Nkz):
+                        off_l = _pi_contrib(
+                            Gle[k, own][:, tl],
+                            Ggq[k, src_em],
+                            dH_t,
+                            dH_ba_t,
+                            neigh_loc,
+                        )
+                        off_g = _pi_contrib(
+                            Gge[k, own][:, tl],
+                            Glq[k, src_em],
+                            dH_t,
+                            dH_ba_t,
+                            neigh_loc,
+                        )
+                        pl[q, w, tile, 1:] += off_l
+                        pl[q, w, tile, 0] -= off_l.sum(axis=1)
+                        pg[q, w, tile, 1:] += off_g
+                        pg[q, w, tile, 0] -= off_g.sum(axis=1)
+        sigma_tiles.append(sig)
+        pi_parts_l.append(pl)
+        pi_parts_g.append(pg)
+
+    # ---- Phase C: Σ tiles back to the GF layout, Π reduced --------------------
+    sendbufs2: List[List[Optional[np.ndarray]]] = [
+        [None] * P for _ in range(P)
+    ]
+    for j in range(P):
+        etile = sse_decomp.energy_tile(j)
+        for i in range(P):
+            esl = gf_decomp.energy_slice(i)
+            k, _ = gf_decomp.coords(i)
+            lo, hi = max(esl.start, etile.start), min(esl.stop, etile.stop)
+            if hi <= lo:
+                continue
+            sendbufs2[j][i] = sigma_tiles[j][
+                :, k, lo - etile.start : hi - etile.start
+            ]
+    recv2 = comm.alltoallv(sendbufs2)
+
+    Sigma_l = np.zeros_like(Gl)
+    Sigma_g = np.zeros_like(Gg)
+    for i in range(P):
+        k, _ = gf_decomp.coords(i)
+        esl = gf_decomp.energy_slice(i)
+        for j in range(P):
+            if recv2[i][j] is None:
+                continue
+            etile = sse_decomp.energy_tile(j)
+            tile = sse_decomp.atom_tile(j)
+            lo, hi = max(esl.start, etile.start), min(esl.stop, etile.stop)
+            piece = recv2[i][j]  # (2, nE, n_tile, No, No)
+            Sigma_l[k, lo:hi][:, tile] += piece[0]
+            Sigma_g[k, lo:hi][:, tile] += piece[1]
+
+    Pi_l = comm.reduce_sum(0, pi_parts_l)
+    Pi_g = comm.reduce_sum(0, pi_parts_g)
+    return DistributedSSEResult(Sigma_l, Sigma_g, Pi_l, Pi_g, comm.stats)

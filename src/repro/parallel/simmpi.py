@@ -1,0 +1,127 @@
+"""A simulated MPI layer: in-process ranks with byte-accurate accounting.
+
+The paper's communication schedules are executed on real machines with
+MPI; here they run inside one process, but with the *actual data* moving
+between per-rank stores and every transfer metered.  This makes the
+distributed SSE results bit-comparable to the serial kernels while the
+measured per-rank byte counts can be checked against the closed-form
+volume models of §4.1 (see ``tests/test_schedules.py``).
+
+Supported operations mirror what the two schedules need: ``bcast``,
+``sendrecv`` (point-to-point), ``alltoallv``, and ``reduce`` (sum).
+Counting conventions match the paper's accounting: a broadcast charges
+every receiving rank with the payload size; a reduction charges each
+contributing rank once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CommStats", "SimComm"]
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication accounting."""
+
+    sent_bytes: np.ndarray
+    recv_bytes: np.ndarray
+    messages: np.ndarray
+
+    @property
+    def total_bytes(self) -> int:
+        """Total volume: every byte is counted once at the receiver."""
+        return int(self.recv_bytes.sum())
+
+    @property
+    def total_exchanged(self) -> int:
+        """Paper-style accounting: sent + received."""
+        return int(self.sent_bytes.sum() + self.recv_bytes.sum())
+
+    def max_per_rank(self) -> int:
+        return int((self.sent_bytes + self.recv_bytes).max())
+
+
+class SimComm:
+    """A communicator over ``P`` simulated ranks."""
+
+    def __init__(self, P: int):
+        if P < 1:
+            raise ValueError("communicator needs at least one rank")
+        self.P = P
+        self.stats = CommStats(
+            sent_bytes=np.zeros(P, dtype=np.int64),
+            recv_bytes=np.zeros(P, dtype=np.int64),
+            messages=np.zeros(P, dtype=np.int64),
+        )
+
+    # -- accounting ----------------------------------------------------------
+    def _charge(self, src: int, dst: int, nbytes: int):
+        if src == dst:
+            return  # local copies are free (no network)
+        self.stats.sent_bytes[src] += nbytes
+        self.stats.recv_bytes[dst] += nbytes
+        self.stats.messages[src] += 1
+
+    def reset(self):
+        self.stats.sent_bytes[:] = 0
+        self.stats.recv_bytes[:] = 0
+        self.stats.messages[:] = 0
+
+    # -- operations ------------------------------------------------------------
+    def bcast(self, root: int, value: np.ndarray) -> List[np.ndarray]:
+        """Broadcast: every non-root rank receives a copy."""
+        out: List[np.ndarray] = []
+        for r in range(self.P):
+            if r == root:
+                out.append(value)
+            else:
+                self._charge(root, r, value.nbytes)
+                out.append(value.copy())
+        return out
+
+    def sendrecv(self, src: int, dst: int, value: np.ndarray) -> np.ndarray:
+        """Point-to-point transfer of a numpy array."""
+        self._charge(src, dst, value.nbytes)
+        return value.copy() if src != dst else value
+
+    def alltoallv(
+        self, sendbufs: Sequence[Sequence[Optional[np.ndarray]]]
+    ) -> List[List[Optional[np.ndarray]]]:
+        """``recv[j][i] = send[i][j]``; ``None`` entries move nothing."""
+        if len(sendbufs) != self.P:
+            raise ValueError("alltoallv needs one send list per rank")
+        recv: List[List[Optional[np.ndarray]]] = [
+            [None] * self.P for _ in range(self.P)
+        ]
+        for i, row in enumerate(sendbufs):
+            if len(row) != self.P:
+                raise ValueError(f"rank {i} send list has wrong length")
+            for j, buf in enumerate(row):
+                if buf is None:
+                    continue
+                self._charge(i, j, buf.nbytes)
+                recv[j][i] = buf.copy() if i != j else buf
+        return recv
+
+    def reduce_sum(
+        self, root: int, contributions: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Sum per-rank arrays onto the root (each contributor charged)."""
+        if len(contributions) != self.P:
+            raise ValueError("reduce needs one contribution per rank")
+        total = np.zeros_like(contributions[root])
+        for r, c in enumerate(contributions):
+            self._charge(r, root, c.nbytes)
+            total = total + c
+        return total
+
+    def allreduce_sum(self, contributions: Sequence[np.ndarray]) -> np.ndarray:
+        """Reduce-sum visible on all ranks (charged as reduce + bcast)."""
+        total = self.reduce_sum(0, contributions)
+        self.bcast(0, total)
+        return total

@@ -1,0 +1,77 @@
+"""A compact data-centric (DaCe-style) intermediate representation.
+
+This package reimplements the subset of the Stateful Dataflow multiGraph
+(SDFG) model that the paper's optimization workflow relies on:
+
+* symbolic expressions and multi-dimensional subsets,
+* states, tasklets, map scopes and memlets with conflict resolution,
+* a reference interpreter defining execution semantics,
+* memlet propagation through (tiled) map scopes, and
+* the graph transformations used in §4 of the paper.
+"""
+
+from .graph import SDFG, ArrayDesc, InterstateEdge, InvalidSDFGError, SDFGState
+from .interpreter import ExecutionReport, Interpreter, execute
+from .memlet import Memlet
+from .nodes import AccessNode, Map, MapEntry, MapExit, NestedSDFG, Tasklet
+from .propagation import (
+    IndirectionHook,
+    neighbor_indirection_hook,
+    propagate_memlet,
+    propagate_through_maps,
+)
+from .subsets import Indices, Range
+from .symbolic import (
+    Add,
+    Expr,
+    FloorDiv,
+    IndirectAccess,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    NonAffineError,
+    Symbol,
+    affine_coefficients,
+    symbols,
+    sympify,
+)
+
+__all__ = [
+    "SDFG",
+    "ArrayDesc",
+    "InterstateEdge",
+    "InvalidSDFGError",
+    "SDFGState",
+    "ExecutionReport",
+    "Interpreter",
+    "execute",
+    "Memlet",
+    "AccessNode",
+    "Map",
+    "MapEntry",
+    "MapExit",
+    "NestedSDFG",
+    "Tasklet",
+    "IndirectionHook",
+    "neighbor_indirection_hook",
+    "propagate_memlet",
+    "propagate_through_maps",
+    "Indices",
+    "Range",
+    "Add",
+    "Expr",
+    "FloorDiv",
+    "IndirectAccess",
+    "Integer",
+    "Max",
+    "Min",
+    "Mod",
+    "Mul",
+    "NonAffineError",
+    "Symbol",
+    "affine_coefficients",
+    "symbols",
+    "sympify",
+]

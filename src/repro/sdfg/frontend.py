@@ -1,0 +1,276 @@
+"""A restricted Python frontend for SDFGs (the paper's Fig. 5 interface).
+
+The domain scientist writes numpy-style code with an explicit parallel
+iteration space; the ``@program`` decorator parses a *restricted* subset of
+Python into an SDFG:
+
+.. code-block:: python
+
+    Nkz, NE, NA, Norb = symbols("Nkz NE NA Norb")
+
+    @program
+    def outer_product(
+        x: Annot((NA,)), y: Annot((Norb,)), out: Annot((NA, Norb))
+    ):
+        for a, o in pmap[0:NA, 0:Norb]:
+            out[a, o] = x[a] * y[o]
+
+Supported statements inside a ``pmap`` loop:
+
+* assignments whose right-hand side combines subscripted reads with the
+  operators ``+ - * @``,
+* augmented assignment ``+=`` (lowered to a ``CR: Sum`` memlet),
+* index expressions that are affine in map parameters and symbols.
+
+This is intentionally a fraction of DaCe's Python frontend — enough to
+express the paper's kernels and to demonstrate that the IR of this package
+can be targeted from readable scientific Python.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .graph import SDFG
+from .memlet import Memlet
+from .nodes import Map, MapEntry, MapExit, Tasklet
+from .subsets import Range
+from .symbolic import Expr, Integer, Symbol, sympify
+
+__all__ = ["Annot", "pmap", "program", "FrontendError"]
+
+
+class FrontendError(ValueError):
+    """Raised when the function uses unsupported constructs."""
+
+
+class Annot:
+    """Array type annotation: ``Annot((M, N))`` or ``Annot((M,), np.float64)``."""
+
+    def __init__(self, shape: Sequence, dtype=np.complex128):
+        self.shape = tuple(sympify(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+
+
+class _PMap:
+    """Marker object: ``for i, j in pmap[0:M, 0:N]`` declares a map scope."""
+
+    def __getitem__(self, item):  # pragma: no cover - parsed, never run
+        raise RuntimeError("pmap is a declaration, not an executable iterator")
+
+
+pmap = _PMap()
+
+
+def program(func: Callable) -> SDFG:
+    """Parse a restricted Python function into an SDFG."""
+    hints = func.__annotations__
+    source = textwrap.dedent(inspect.getsource(func))
+    tree = ast.parse(source)
+    fdef = tree.body[0]
+    if not isinstance(fdef, ast.FunctionDef):
+        raise FrontendError("@program expects a plain function")
+
+    sd = SDFG(func.__name__)
+    closure = _closure_symbols(func)
+    for arg in fdef.args.args:
+        ann = hints.get(arg.arg)
+        if not isinstance(ann, Annot):
+            raise FrontendError(
+                f"argument {arg.arg!r} needs an Annot(shape) annotation"
+            )
+        sd.add_array(arg.arg, ann.shape, ann.dtype)
+        for s in ann.shape:
+            for name in s.free_symbols:
+                sd.add_symbol(name)
+
+    state = sd.add_state("main", is_start=True)
+    for i, stmt in enumerate(fdef.body):
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring
+        if not isinstance(stmt, ast.For):
+            raise FrontendError("the function body must be pmap for-loops")
+        _lower_map(sd, state, stmt, closure, label=f"{func.__name__}_{i}")
+    sd.validate()
+    return sd
+
+
+def _closure_symbols(func: Callable) -> Dict[str, Expr]:
+    out: Dict[str, Expr] = {}
+    if func.__closure__:
+        for name, cell in zip(func.__code__.co_freevars, func.__closure__):
+            if isinstance(cell.cell_contents, Expr):
+                out[name] = cell.cell_contents
+    for name, val in func.__globals__.items():
+        if isinstance(val, Expr):
+            out.setdefault(name, val)
+    return out
+
+
+def _lower_map(sd: SDFG, state, node: ast.For, closure, label: str):
+    # -- header: for i, j in pmap[a:b, c:d] --------------------------------
+    it = node.iter
+    if not (
+        isinstance(it, ast.Subscript)
+        and isinstance(it.value, ast.Name)
+        and it.value.id == "pmap"
+    ):
+        raise FrontendError("loops must iterate over pmap[...]")
+    if isinstance(node.target, ast.Tuple):
+        params = [t.id for t in node.target.elts]
+    else:
+        params = [node.target.id]
+    dims = _parse_slices(it.slice, params, closure)
+    if len(dims) != len(params):
+        raise FrontendError("loop targets must match the pmap rank")
+    m = Map(label, params, Range(dims))
+    entry, exit_node = MapEntry(m), MapExit(m)
+
+    param_syms = {p: Symbol(p) for p in params}
+    env = dict(closure)
+    env.update(param_syms)
+
+    read_arrays: Dict[str, None] = {}
+    written: List[Tuple[str, Memlet]] = []
+
+    # -- body: single assignment / augmented assignment ----------------------
+    if len(node.body) != 1:
+        raise FrontendError("pmap bodies must contain exactly one statement")
+    stmt = node.body[0]
+    if isinstance(stmt, ast.AugAssign):
+        if not isinstance(stmt.op, ast.Add):
+            raise FrontendError("only += accumulation is supported")
+        target, value, wcr = stmt.target, stmt.value, "sum"
+    elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target, value, wcr = stmt.targets[0], stmt.value, None
+    else:
+        raise FrontendError("unsupported statement inside pmap")
+    if not isinstance(target, ast.Subscript):
+        raise FrontendError("assignment target must be an array subscript")
+
+    reads: List[Tuple[str, Memlet]] = []
+    expr_code = _lower_expr(value, sd, env, reads)
+    out_name, out_memlet = _subscript_memlet(target, sd, env, wcr)
+
+    conns = [f"__in{i}" for i in range(len(reads))]
+    namespace = {"np": np}
+    fn_src = "def _tasklet({}):\n    return {{'__out': {}}}".format(
+        ", ".join(conns), expr_code
+    )
+    exec(fn_src, namespace)  # noqa: S102 - generated from a parsed AST only
+    tasklet = Tasklet(f"{label}_t", conns, ["__out"], namespace["_tasklet"])
+
+    for name, _ in reads:
+        read_arrays.setdefault(name)
+    for name in read_arrays:
+        state.add_edge(
+            state.add_access(name), entry, Memlet.full(name, sd.arrays[name].shape)
+        )
+    if not read_arrays:
+        state.add_edge(state.add_access(out_name), entry, None)
+    for conn, (name, mem) in zip(conns, reads):
+        state.add_edge(entry, tasklet, mem, dst_conn=conn)
+    state.add_edge(tasklet, exit_node, out_memlet, src_conn="__out")
+    state.add_edge(
+        exit_node,
+        state.add_access(out_name),
+        Memlet.full(out_name, sd.arrays[out_name].shape, wcr=wcr),
+    )
+
+
+def _parse_slices(node, params, closure) -> List[Tuple[Expr, Expr, Expr]]:
+    items = node.elts if isinstance(node, ast.Tuple) else [node]
+    dims = []
+    for s in items:
+        if not isinstance(s, ast.Slice) or s.step is not None:
+            raise FrontendError("pmap dimensions must be start:stop slices")
+        lo = _const_expr(s.lower, closure)
+        hi = _const_expr(s.upper, closure)
+        dims.append((lo, hi - 1, Integer(1)))
+    return dims
+
+
+def _const_expr(node, env) -> Expr:
+    """Evaluate an index/bound expression to a symbolic Expr."""
+    if node is None:
+        return Integer(0)
+    if isinstance(node, ast.Constant):
+        return sympify(int(node.value))
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return sympify(env[node.id])
+        return Symbol(node.id)
+    if isinstance(node, ast.BinOp):
+        lhs, rhs = _const_expr(node.left, env), _const_expr(node.right, env)
+        if isinstance(node.op, ast.Add):
+            return lhs + rhs
+        if isinstance(node.op, ast.Sub):
+            return lhs - rhs
+        if isinstance(node.op, ast.Mult):
+            return lhs * rhs
+        if isinstance(node.op, ast.FloorDiv):
+            return lhs // rhs
+        if isinstance(node.op, ast.Mod):
+            return lhs % rhs
+        raise FrontendError(f"unsupported index operator {ast.dump(node.op)}")
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_const_expr(node.operand, env)
+    raise FrontendError(f"unsupported index expression: {ast.dump(node)}")
+
+
+def _subscript_memlet(node: ast.Subscript, sd: SDFG, env, wcr) -> Tuple[str, Memlet]:
+    if not isinstance(node.value, ast.Name):
+        raise FrontendError("subscripts must target named arrays")
+    name = node.value.id
+    if name not in sd.arrays:
+        raise FrontendError(f"unknown array {name!r}")
+    idx = node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+    exprs = [_const_expr(i, env) for i in idx]
+    desc = sd.arrays[name]
+    if len(exprs) > desc.rank:
+        raise FrontendError(f"too many indices for {name!r}")
+    # Trailing unsubscripted dimensions stay full (block accesses).
+    dims: List = [(e, e, Integer(1)) for e in exprs]
+    for s in desc.shape[len(exprs):]:
+        dims.append((Integer(0), s - 1, Integer(1)))
+    return name, Memlet(name, Range(dims), wcr=wcr)
+
+
+def _lower_expr(node, sd: SDFG, env, reads: List[Tuple[str, Memlet]]) -> str:
+    """Lower an expression AST to tasklet code, collecting read memlets."""
+    if isinstance(node, ast.Subscript):
+        name, mem = _subscript_memlet(node, sd, env, None)
+        reads.append((name, mem))
+        return f"__in{len(reads) - 1}"
+    if isinstance(node, ast.Name):
+        # whole-array read
+        name = node.id
+        if name not in sd.arrays:
+            raise FrontendError(f"unknown array {name!r}")
+        mem = Memlet.full(name, sd.arrays[name].shape)
+        reads.append((name, mem))
+        return f"__in{len(reads) - 1}"
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.BinOp):
+        lhs = _lower_expr(node.left, sd, env, reads)
+        rhs = _lower_expr(node.right, sd, env, reads)
+        ops = {
+            ast.Add: "+",
+            ast.Sub: "-",
+            ast.Mult: "*",
+            ast.MatMult: "@",
+            ast.Div: "/",
+        }
+        for t, sym in ops.items():
+            if isinstance(node.op, t):
+                return f"({lhs} {sym} {rhs})"
+        raise FrontendError(f"unsupported operator {ast.dump(node.op)}")
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return f"(-{_lower_expr(node.operand, sd, env, reads)})"
+    raise FrontendError(f"unsupported expression: {ast.dump(node)}")

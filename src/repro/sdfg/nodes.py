@@ -1,0 +1,147 @@
+"""SDFG node types: access nodes, tasklets, map scopes, nested SDFGs.
+
+The dataflow model follows the paper's Fig. 3: *Data* nodes are array
+containers, *Tasklets* are fine-grained computations, *Maps* are parametric
+parallelism scopes delimited by entry/exit nodes, and *Memlets* (edges)
+carry data-movement annotations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .subsets import Range
+
+__all__ = ["Node", "AccessNode", "Tasklet", "Map", "MapEntry", "MapExit", "NestedSDFG"]
+
+_counter = itertools.count()
+
+
+class Node:
+    """Base class for SDFG state nodes (identity-hashable)."""
+
+    __slots__ = ("label", "_uid")
+
+    def __init__(self, label: str):
+        self.label = label
+        self._uid = next(_counter)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label})"
+
+    def __hash__(self) -> int:
+        return self._uid
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+class AccessNode(Node):
+    """A read/write point for a named data container."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: str):
+        super().__init__(data)
+        self.data = data
+
+
+class Tasklet(Node):
+    """A fine-grained computation.
+
+    ``code`` is a Python callable receiving keyword arguments named after
+    the input connectors and returning a dict keyed by output connectors.
+    Inputs arrive as numpy views (point subsets squeezed to scalars/blocks);
+    outputs are written back through the output memlets.
+    """
+
+    __slots__ = ("inputs", "outputs", "code", "flops")
+
+    def __init__(
+        self,
+        label: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        code: Callable[..., Dict[str, object]],
+        flops: Optional[Callable[..., int]] = None,
+    ):
+        super().__init__(label)
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.code = code
+        # Optional flop-count model: callable(shapes dict) -> int
+        self.flops = flops
+
+    def __call__(self, **kwargs):
+        return self.code(**kwargs)
+
+
+class Map:
+    """A parametric parallel scope over a multi-dimensional index range."""
+
+    __slots__ = ("label", "params", "range")
+
+    def __init__(self, label: str, params: Sequence[str], rng: Range):
+        if len(params) != len(rng):
+            raise ValueError(
+                f"map {label!r}: {len(params)} params but range rank {len(rng)}"
+            )
+        if len(set(params)) != len(params):
+            raise ValueError(f"map {label!r}: duplicate parameters")
+        self.label = label
+        self.params = list(params)
+        self.range = rng
+
+    def param_index(self, name: str) -> int:
+        return self.params.index(name)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{p}={b!r}:{(e + 1)!r}" for p, (b, e, _) in zip(self.params, self.range)
+        )
+        return f"Map[{inner}]"
+
+
+class MapEntry(Node):
+    __slots__ = ("map",)
+
+    def __init__(self, m: Map):
+        super().__init__(f"{m.label}[entry]")
+        self.map = m
+
+
+class MapExit(Node):
+    __slots__ = ("map",)
+
+    def __init__(self, m: Map):
+        super().__init__(f"{m.label}[exit]")
+        self.map = m
+
+
+class NestedSDFG(Node):
+    """An SDFG embedded as a node, with array and symbol mappings.
+
+    ``array_mapping`` maps inner array names to outer array names;
+    ``symbol_mapping`` maps inner symbols to outer symbolic expressions.
+    """
+
+    __slots__ = ("sdfg", "array_mapping", "symbol_mapping")
+
+    def __init__(
+        self,
+        label: str,
+        sdfg,
+        array_mapping: Dict[str, str],
+        symbol_mapping: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(label)
+        self.sdfg = sdfg
+        self.array_mapping = dict(array_mapping)
+        self.symbol_mapping = dict(symbol_mapping or {})
+
+
+def make_map(label: str, spec: Dict[str, Tuple]) -> Tuple[MapEntry, MapExit]:
+    """Create a paired entry/exit for ``Map`` from ``{param: (b, e[, s])}``."""
+    m = Map(label, list(spec.keys()), Range(list(spec.values())))
+    return MapEntry(m), MapExit(m)

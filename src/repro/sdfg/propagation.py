@@ -1,0 +1,219 @@
+"""Memlet propagation through map scopes (paper §4.1).
+
+Propagation pushes the data-access expressions of tasklet memlets outward
+through map scopes: an inner access ``G[kz - qz, E - w, f]`` inside a map
+over ``kz in [tkz*skz, (tkz+1)*skz)`` and ``qz in [tqz*sqz, (tqz+1)*sqz)``
+becomes the outer range
+``[tkz*skz - (tqz+1)*sqz + 1, (tkz+1)*skz - tqz*sqz)`` with
+``skz + sqz - 1`` accesses — exactly the derivation in the paper's Fig. 7.
+
+Irregular accesses (the neighbor indirection ``f(a, b)``) cannot be
+propagated automatically; as in the paper, the performance engineer supplies
+an :class:`IndirectionHook` with the over-approximation
+``[max(0, ta*sa - NB/2), min(NA, (ta+1)*sa + NB/2))``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .memlet import Memlet
+from .nodes import Map
+from .subsets import Range
+from .symbolic import (
+    Expr,
+    IndirectAccess,
+    Integer,
+    Max,
+    Min,
+    NonAffineError,
+    affine_coefficients,
+    sympify,
+)
+
+__all__ = [
+    "IndirectionHook",
+    "neighbor_indirection_hook",
+    "propagate_memlet",
+    "propagate_through_maps",
+]
+
+
+class IndirectionHook:
+    """Manual propagation rule for an indirection table (paper §4.1).
+
+    ``bounds`` receives the map being propagated through and returns the
+    over-approximated ``(begin, end)`` (inclusive) of the accessed range,
+    plus the access-count multiplier contributed by the indirect dimension.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        bounds: Callable[[Map], Tuple[Expr, Expr, Expr]],
+    ):
+        self.table = table
+        self.bounds = bounds
+
+
+def neighbor_indirection_hook(NA, NB, atom_param: str = "a", sa=None) -> IndirectionHook:
+    """The paper's approximation for ``f(a, b)`` = index of b-th neighbor of
+    atom ``a``: atoms with neighboring indices are usually neighbors in the
+    coupling matrix, so propagating over ``a in [ta*sa, (ta+1)*sa)`` and all
+    ``NB`` neighbors covers ``[max(0, ta*sa - NB/2), min(NA, (ta+1)*sa + NB/2))``
+    with ``sa * NB`` total accesses.
+    """
+    NA = sympify(NA)
+    NB = sympify(NB)
+
+    def bounds(m: Map):
+        if atom_param in m.params:
+            i = m.param_index(atom_param)
+            b, e, _ = m.range[i]
+            lo = Max.make(0, b - NB // 2)
+            hi = Min.make(NA - 1, e + NB // 2)
+            length = e - b + 1
+        else:
+            # Atom dimension not part of this map: full over-approximation.
+            lo, hi, length = Integer(0), NA - 1, Integer(1)
+        mult = length * NB if "b" in m.params else length
+        return lo, hi, mult
+
+    return IndirectionHook("__neigh__", bounds)
+
+
+def _contains_indirection(expr: Expr) -> Optional[IndirectAccess]:
+    if isinstance(expr, IndirectAccess):
+        return expr
+    for attr in ("args",):
+        if hasattr(expr, attr):
+            for a in getattr(expr, attr):
+                found = _contains_indirection(a)
+                if found is not None:
+                    return found
+    for attr in ("num", "den"):
+        if hasattr(expr, attr):
+            found = _contains_indirection(getattr(expr, attr))
+            if found is not None:
+                return found
+    return None
+
+
+def _coeff_sign(coeff: Expr, assume_positive: frozenset) -> Optional[int]:
+    """Determine the sign of a symbolic coefficient, if possible."""
+    v = coeff.maybe_int()
+    if v is not None:
+        return (v > 0) - (v < 0)
+    # Tile-size and problem-size symbols are positive by construction, so
+    # the sign is that of the integer prefactor of the product.
+    if coeff.free_symbols and coeff.free_symbols <= assume_positive:
+        from .symbolic import _split_coefficient
+
+        c, _ = _split_coefficient(coeff)
+        return (c > 0) - (c < 0)
+    return None
+
+
+def _propagate_expr(
+    expr: Expr,
+    m: Map,
+    endpoint: str,
+    assume_positive: frozenset,
+) -> Expr:
+    """Minimize (endpoint="begin") or maximize (endpoint="end") ``expr`` over
+    the map's parameter box."""
+    params = [p for p in m.params if p in expr.free_symbols]
+    if not params:
+        return expr
+    try:
+        coeffs, _ = affine_coefficients(expr, params)
+    except NonAffineError:
+        raise
+    out = expr
+    for p in params:
+        i = m.param_index(p)
+        b, e, _ = m.range[i]
+        sign = _coeff_sign(coeffs.get(p, Integer(0)), assume_positive)
+        if sign is None:
+            lo = Min.make(out.subs({p: b}), out.subs({p: e}))
+            hi = Max.make(out.subs({p: b}), out.subs({p: e}))
+            out = lo if endpoint == "begin" else hi
+            continue
+        if endpoint == "begin":
+            out = out.subs({p: b if sign > 0 else e})
+        else:
+            out = out.subs({p: e if sign > 0 else b})
+    return out
+
+
+def propagate_memlet(
+    memlet: Memlet,
+    m: Map,
+    array_shape: Optional[Sequence] = None,
+    hooks: Optional[Iterable[IndirectionHook]] = None,
+    assume_positive: Optional[Iterable[str]] = None,
+) -> Memlet:
+    """Propagate a memlet outward through one map scope.
+
+    Returns a new memlet whose subset covers every element the scope can
+    access and whose ``accesses`` is the inner access count multiplied by
+    the number of map iterations.  When ``array_shape`` is given, the subset
+    is clamped to the array domain — yielding the paper's
+    ``min(Nkz, skz + sqz - 1)`` unique-element counts.
+    """
+    hooks = {h.table: h for h in (hooks or [])}
+    pos = frozenset(assume_positive or []) | _default_positive(memlet, m)
+
+    new_dims = []
+    access_mult: Expr = Integer(1)
+    handled_params: set = set()
+    for dim_i, (b, e, s) in enumerate(memlet.subset.dims):
+        ind = _contains_indirection(b) or _contains_indirection(e)
+        if ind is not None:
+            hook = hooks.get(ind.table) or hooks.get("__neigh__")
+            if hook is None:
+                raise NonAffineError(
+                    f"indirection {ind!r} requires an IndirectionHook"
+                )
+            lo, hi, mult = hook.bounds(m)
+            new_dims.append((lo, hi, Integer(1)))
+            handled_params |= b.free_symbols & set(m.params)
+            continue
+        used = (b.free_symbols | e.free_symbols) & set(m.params)
+        if not used:
+            new_dims.append((b, e, s))
+            continue
+        nb = _propagate_expr(b, m, "begin", pos)
+        ne = _propagate_expr(e, m, "end", pos)
+        new_dims.append((nb, ne, s))
+        handled_params |= used
+
+    new_subset = Range(new_dims)
+    if array_shape is not None:
+        new_subset = new_subset.clamp_to_shape(array_shape)
+    total = memlet.accesses * m.range.num_elements()
+    return Memlet(memlet.data, new_subset, accesses=total, wcr=memlet.wcr)
+
+
+def _default_positive(memlet: Memlet, m: Map) -> frozenset:
+    """All non-parameter free symbols are sizes/tiles, assumed positive."""
+    syms = memlet.subset.free_symbols | m.range.free_symbols
+    return frozenset(syms - set(m.params))
+
+
+def propagate_through_maps(
+    memlet: Memlet,
+    maps: Sequence[Map],
+    array_shape: Optional[Sequence] = None,
+    hooks: Optional[Iterable[IndirectionHook]] = None,
+) -> Memlet:
+    """Propagate through nested maps, innermost first.
+
+    The array clamp is applied only after the final scope so intermediate
+    ranges stay exact (mirrors DaCe's outward propagation order).
+    """
+    out = memlet
+    for i, m in enumerate(maps):
+        shape = array_shape if i == len(maps) - 1 else None
+        out = propagate_memlet(out, m, array_shape=shape, hooks=hooks)
+    return out

@@ -1,0 +1,25 @@
+"""Graph transformations used by the paper's optimization recipe (§4)."""
+
+from .array_shrink import ArrayShrink
+from .base import Transformation, TransformationError
+from .batching import BatchedOperationSubstitution
+from .data_layout import DataLayoutTransformation, apply_layout
+from .map_expansion import MapExpansion
+from .map_fission import MapFission
+from .map_fusion import MapFusion
+from .map_tiling import MapTiling
+from .redundancy import RedundantComputationRemoval
+
+__all__ = [
+    "ArrayShrink",
+    "Transformation",
+    "TransformationError",
+    "BatchedOperationSubstitution",
+    "DataLayoutTransformation",
+    "apply_layout",
+    "MapExpansion",
+    "MapFission",
+    "MapFusion",
+    "MapTiling",
+    "RedundantComputationRemoval",
+]

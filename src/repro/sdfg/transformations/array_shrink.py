@@ -1,0 +1,83 @@
+"""Transient-array shrinking (paper §4.2, final step of Fig. 12).
+
+After Map Fusion, the transient tensors ``∇HG≷`` and ``∇HD≷`` are produced
+and consumed entirely within one iteration of the fused ``(a, b)`` map, so
+their ``(a, b)`` dimensions are dead storage.  This transformation removes
+dimensions that every memlet indexes with exactly the fused map parameters,
+"reducing the size of the transient arrays to only three dimensions, which
+are accessed for each iteration (a, b)".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graph import SDFG, ArrayDesc, SDFGState
+from ..memlet import Memlet
+from ..subsets import Range
+from ..symbolic import Symbol
+from .base import Transformation, TransformationError
+
+__all__ = ["ArrayShrink"]
+
+
+class ArrayShrink(Transformation):
+    """Drop dimensions of a transient indexed only by scope parameters.
+
+    Parameters
+    ----------
+    array:
+        The transient tensor to shrink.
+    drop_dims:
+        Dimension positions to remove.
+    params:
+        The enclosing map parameters each dropped dimension must be
+        indexed by (one per dropped dimension, in order).
+    """
+
+    name = "ArrayShrink"
+
+    def __init__(self, array: str, drop_dims: Sequence[int], params: Sequence[str]):
+        if len(drop_dims) != len(params):
+            raise ValueError("drop_dims and params must align")
+        self.array = array
+        self.drop_dims = list(drop_dims)
+        self.params = list(params)
+
+    def check(self, sdfg: SDFG, state: SDFGState) -> None:
+        if self.array not in sdfg.arrays:
+            raise TransformationError(f"unknown array {self.array!r}")
+        desc = sdfg.arrays[self.array]
+        if not desc.transient:
+            raise TransformationError(f"{self.array!r} is not transient")
+        for pos, p in zip(self.drop_dims, self.params):
+            if pos >= desc.rank:
+                raise TransformationError(f"dimension {pos} out of range")
+        for st in sdfg.states:
+            for _, _, d in st.edges():
+                mem = d.get("memlet")
+                if mem is None or mem.data != self.array:
+                    continue
+                for pos, p in zip(self.drop_dims, self.params):
+                    b, e, _ = mem.subset.dims[pos]
+                    if b != e or b != Symbol(p):
+                        raise TransformationError(
+                            f"memlet {mem!r} dim {pos} is not the point index {p!r}"
+                        )
+
+    def apply(self, sdfg: SDFG, state: SDFGState) -> None:
+        desc = sdfg.arrays[self.array]
+        keep = [i for i in range(desc.rank) if i not in set(self.drop_dims)]
+        sdfg.arrays[self.array] = ArrayDesc(
+            self.array,
+            tuple(desc.shape[i] for i in keep),
+            desc.dtype,
+            transient=True,
+        )
+        for st in sdfg.states:
+            for _, _, d in st.edges():
+                mem = d.get("memlet")
+                if mem is None or mem.data != self.array:
+                    continue
+                dims = [mem.subset.dims[i] for i in keep]
+                d["memlet"] = Memlet(self.array, Range(dims), wcr=mem.wcr)

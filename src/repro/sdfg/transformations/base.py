@@ -1,0 +1,44 @@
+"""Transformation framework: pattern-checked graph rewrites.
+
+Transformations mutate an SDFG in place, after ``can_apply`` verified the
+pattern.  Each one corresponds to a rewrite used in §4 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graph import SDFG, SDFGState
+
+__all__ = ["Transformation", "TransformationError"]
+
+
+class TransformationError(ValueError):
+    """Raised when a transformation's pattern requirements are not met."""
+
+
+class Transformation:
+    """Base class: ``check`` then ``apply`` on a state of an SDFG."""
+
+    name = "transformation"
+
+    def can_apply(self, sdfg: SDFG, state: SDFGState) -> bool:
+        try:
+            self.check(sdfg, state)
+            return True
+        except TransformationError:
+            return False
+
+    def check(self, sdfg: SDFG, state: SDFGState) -> None:
+        """Raise :class:`TransformationError` when not applicable."""
+
+    def apply(self, sdfg: SDFG, state: SDFGState) -> None:
+        raise NotImplementedError
+
+    def apply_checked(self, sdfg: SDFG, state: SDFGState) -> None:
+        self.check(sdfg, state)
+        self.apply(sdfg, state)
+        sdfg.validate()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

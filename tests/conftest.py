@@ -1,0 +1,43 @@
+"""Shared fixtures: small devices, models, and SSE input tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.negf import build_device, build_hamiltonian_model
+
+
+@pytest.fixture(scope="session")
+def small_device():
+    return build_device(nx_cols=6, ny_rows=3, NB=4, slab_width=2)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_device):
+    return build_hamiltonian_model(small_device, Norb=2)
+
+
+@pytest.fixture(scope="session")
+def ring_neighbors():
+    """A banded ring neighbor table (8 atoms, 4 neighbors)."""
+    NA, NB = 8, 4
+    neigh = np.zeros((NA, NB), dtype=np.int64)
+    for a in range(NA):
+        for b in range(NB):
+            off = (b // 2 + 1) * (1 if b % 2 == 0 else -1)
+            neigh[a, b] = (a + off) % NA
+    rev = np.zeros_like(neigh)
+    for a in range(NA):
+        for b in range(NB):
+            rev[a, b] = np.nonzero(neigh[neigh[a, b]] == a)[0][0]
+    return neigh, rev
+
+
+def complex_array(rng, *shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

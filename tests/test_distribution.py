@@ -1,0 +1,76 @@
+"""§4.1 derivation: tiled-map propagation vs the closed-form model."""
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.core.distribution import derive_sse_footprints, footprint_bytes
+
+P7 = SimulationParameters(
+    Nkz=7, Nqz=7, NE=706, Nw=70, NA=4864, NB=34, Norb=12, bnum=19
+)
+
+
+@pytest.fixture(scope="module")
+def footprint():
+    return derive_sse_footprints()
+
+
+def test_all_containers_covered(footprint):
+    assert set(footprint.memlets) >= {"G", "D", "dH", "Sigma"}
+
+
+def test_g_footprint_matches_closed_form(footprint):
+    """G≷ per tile = 16·Nkz·(NE/TE + Nω)·(NA/TA + NB)·Norb² bytes.
+
+    (One ω direction in this kernel; the paper's 2Nω counts both ±ω.)
+    """
+    for TE, TA in ((7, 64), (2, 256), (353, 32)):
+        derived = footprint_bytes(P7, TE, TA, footprint)["G"]
+        closed = (
+            16 * P7.Nkz
+            * (P7.NE // TE + P7.Nw - 1)
+            * (P7.NA // TA + P7.NB)
+            * P7.Norb**2
+        )
+        assert derived == pytest.approx(closed, rel=0.02), (TE, TA)
+
+
+def test_d_footprint_matches_closed_form(footprint):
+    """D≷ per tile = 16·Nqz·Nω·(NA/TA)·NB·N3D² bytes (atom tile only)."""
+    for TA in (64, 256):
+        derived = footprint_bytes(P7, 7, TA, footprint)["D"]
+        closed = 16 * P7.Nqz * P7.Nw * (P7.NA // TA) * P7.NB * P7.N3D**2
+        assert derived == pytest.approx(closed, rel=0.02)
+
+
+def test_sigma_footprint_is_tile_only(footprint):
+    derived = footprint_bytes(P7, 7, 64, footprint)["Sigma"]
+    closed = 16 * P7.Nkz * (P7.NE // 7) * (P7.NA // 64 + P7.NB) * P7.Norb**2
+    # Σ covers the atom tile plus nothing beyond the indirection halo.
+    assert derived <= closed
+    assert derived >= 16 * P7.Nkz * (P7.NE // 7) * (P7.NA // 64) * P7.Norb**2
+
+
+def test_momentum_never_tiled(footprint):
+    """The kz dimension of G≷ covers the whole grid for every tile."""
+    env = dict(
+        Nkz=7, NE=706, Nqz=7, Nw=70, N3D=3, NA=4864, NB=34, Norb=12,
+        sE=100, sa=64, tE=1, ta=2,
+    )
+    g = footprint.memlets["G"]
+    assert g.subset.dim_length(0).evaluate(env) == 7
+
+
+def test_halo_shrinks_with_larger_tiles(footprint):
+    small = footprint_bytes(P7, 353, 152, footprint)["G"]
+    large = footprint_bytes(P7, 2, 2, footprint)["G"]
+    p_small, p_large = 353 * 152, 4
+    # Per-process footprints shrink, but total (x P) grows: halo overhead.
+    assert small < large
+    assert small * p_small > large * p_large
+
+
+def test_transients_stay_tile_local(footprint):
+    b = footprint_bytes(P7, 7, 64, footprint)
+    assert b["dHG"] == 16 * P7.Norb**2
+    assert b["dHD"] == 16 * P7.Norb**2

@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
+
+
+def test_examples_present():
+    names = {p.name for p in _EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "finfet_iv_curve.py",
+        "self_heating.py",
+        "communication_planning.py",
+        "sdfg_transformations.py",
+    } <= names
+
+
+def test_sdfg_transformations_example():
+    out = _run("sdfg_transformations.py")
+    assert "fig12s" in out
+    assert "speedup" in out
+
+
+def test_communication_planning_example():
+    out = _run("communication_planning.py")
+    assert "optimal tiling" in out
+    assert "Min(Nkz" in out or "skz" in out
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    out = _run("quickstart.py", timeout=400)
+    assert "dissipative: converged=True" in out

@@ -1,0 +1,139 @@
+"""The restricted Python frontend (Fig. 5-style @program functions)."""
+
+import numpy as np
+import pytest
+
+from repro.sdfg import execute, symbols
+from repro.sdfg.frontend import Annot, FrontendError, pmap, program
+
+M, N, K = symbols("M N K")
+
+
+class TestLowering:
+    def test_elementwise(self):
+        @program
+        def scale(x: Annot((M,), np.float64), y: Annot((M,), np.float64)):
+            for i in pmap[0:M]:
+                y[i] = x[i] * 2
+
+        out = execute(scale, dict(M=5), dict(x=np.arange(5.0)))
+        assert np.allclose(out["y"], 2 * np.arange(5.0))
+
+    def test_outer_product(self):
+        @program
+        def outer(
+            x: Annot((M,), np.float64),
+            y: Annot((N,), np.float64),
+            out: Annot((M, N), np.float64),
+        ):
+            for i, j in pmap[0:M, 0:N]:
+                out[i, j] = x[i] * y[j]
+
+        a, b = np.arange(3.0), np.arange(4.0) + 1
+        res = execute(outer, dict(M=3, N=4), dict(x=a, y=b))
+        assert np.allclose(res["out"], np.outer(a, b))
+
+    def test_matmul_accumulation(self):
+        @program
+        def mm(
+            A: Annot((M, K), np.float64),
+            B: Annot((K, N), np.float64),
+            C: Annot((M, N), np.float64),
+        ):
+            for i, j, k in pmap[0:M, 0:N, 0:K]:
+                C[i, j] += A[i, k] * B[k, j]
+
+        rng = np.random.default_rng(0)
+        A, B = rng.standard_normal((3, 5)), rng.standard_normal((5, 2))
+        res = execute(mm, dict(M=3, N=2, K=5), dict(A=A, B=B))
+        assert np.allclose(res["C"], A @ B)
+
+    def test_block_matmul_with_matmul_operator(self):
+        No = symbols("No")[0]
+
+        @program
+        def block(
+            A: Annot((M, No, No)),
+            B: Annot((M, No, No)),
+            C: Annot((M, No, No)),
+        ):
+            for i in pmap[0:M]:
+                C[i] = A[i] @ B[i]
+
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((4, 3, 3)) + 0j
+        B = rng.standard_normal((4, 3, 3)) + 0j
+        res = execute(block, dict(M=4, No=3), dict(A=A, B=B))
+        assert np.allclose(res["C"], A @ B)
+
+    def test_offset_indices(self):
+        @program
+        def shift(x: Annot((M,), np.float64), y: Annot((M,), np.float64)):
+            for i in pmap[1:M]:
+                y[i] = x[i - 1]
+
+        out = execute(shift, dict(M=4), dict(x=np.arange(4.0)))
+        assert np.allclose(out["y"], [0, 0, 1, 2])
+
+    def test_multiple_maps(self):
+        @program
+        def two(x: Annot((M,), np.float64), y: Annot((M,), np.float64)):
+            for i in pmap[0:M]:
+                y[i] = x[i] + 1
+            for i in pmap[0:M]:
+                y[i] = y[i] * 3
+
+        out = execute(two, dict(M=3), dict(x=np.zeros(3)))
+        assert np.allclose(out["y"], [3.0, 3.0, 3.0])
+
+    def test_sdfg_structure(self):
+        @program
+        def f(x: Annot((M,), np.float64), y: Annot((M,), np.float64)):
+            for i in pmap[0:M]:
+                y[i] = x[i] + 1
+
+        assert f.name == "f"
+        assert "M" in f.symbols
+        assert len(f.states[0].top_level_maps()) == 1
+
+
+class TestRejections:
+    def test_missing_annotation(self):
+        with pytest.raises(FrontendError):
+            @program
+            def f(x):
+                for i in pmap[0:M]:
+                    x[i] = 0
+
+    def test_non_pmap_loop(self):
+        with pytest.raises(FrontendError):
+            @program
+            def f(x: Annot((M,), np.float64)):
+                for i in range(3):
+                    x[i] = 0
+
+    def test_stepped_slice(self):
+        with pytest.raises(FrontendError):
+            @program
+            def f(x: Annot((M,), np.float64)):
+                for i in pmap[0:M:2]:
+                    x[i] = 0
+
+    def test_multiple_statements(self):
+        with pytest.raises(FrontendError):
+            @program
+            def f(x: Annot((M,), np.float64), y: Annot((M,), np.float64)):
+                for i in pmap[0:M]:
+                    y[i] = x[i]
+                    x[i] = 0
+
+    def test_unknown_array(self):
+        with pytest.raises(FrontendError):
+            @program
+            def f(x: Annot((M,), np.float64)):
+                for i in pmap[0:M]:
+                    z[i] = x[i]  # noqa: F821
+
+    def test_pmap_not_iterable_at_runtime(self):
+        with pytest.raises(RuntimeError):
+            pmap[0:3]

@@ -1,0 +1,207 @@
+"""Performance/communication/scaling models vs the paper's own numbers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAPER_STRUCTURE_10240, SimulationParameters
+from repro.model import (
+    PIZ_DAINT,
+    SUMMIT,
+    TIB,
+    comm_volumes,
+    dace_comm_total_bytes,
+    factor_pairs,
+    gf_phase_flops,
+    iteration_flops,
+    omen_comm_total_bytes,
+    paper_tiling,
+    predict_times,
+    search_tiling,
+    sse_flops_dace,
+    sse_flops_omen,
+    strong_scaling,
+    weak_scaling,
+)
+
+EVAL = SimulationParameters(
+    Nkz=3, Nqz=3, NE=706, Nw=70, NA=4864, NB=34, Norb=12, N3D=3, bnum=19
+)
+
+TABLE3 = {
+    3: (8.45, 52.95, 24.41, 12.38),
+    5: (14.12, 88.25, 67.80, 34.19),
+    7: (19.77, 123.55, 132.89, 66.85),
+    9: (25.42, 158.85, 219.67, 110.36),
+    11: (31.06, 194.15, 328.15, 164.71),
+}
+
+TABLE4 = {3: (768, 32.11, 0.54), 5: (1280, 89.18, 1.22), 7: (1792, 174.80, 2.17),
+          9: (2304, 288.95, 3.38), 11: (2816, 431.65, 4.86)}
+
+TABLE5 = {224: (108.24, 0.95), 448: (117.75, 1.13), 896: (136.76, 1.48),
+          1792: (174.80, 2.17), 2688: (212.84, 2.87)}
+
+
+class TestFlopModels:
+    @pytest.mark.parametrize("nkz", list(TABLE3))
+    def test_table3(self, nkz):
+        ci_p, rgf_p, omen_p, dace_p = TABLE3[nkz]
+        p = EVAL.replace(Nkz=nkz, Nqz=nkz)
+        f = iteration_flops(p)
+        assert f.contour_integral / 1e15 == pytest.approx(ci_p, rel=0.01)
+        assert f.rgf / 1e15 == pytest.approx(rgf_p, rel=0.01)
+        assert f.sse_omen / 1e15 == pytest.approx(omen_p, rel=0.005)
+        assert f.sse_dace / 1e15 == pytest.approx(dace_p, rel=0.02)
+
+    def test_sse_omen_closed_form(self):
+        p = EVAL
+        expect = 64 * p.NA * p.NB * p.N3D * p.Nkz * p.Nqz * p.NE * p.Nw * p.Norb**3
+        assert sse_flops_omen(p) == expect
+
+    def test_sse_ratio_approaches_two(self):
+        p = EVAL.replace(Nkz=21, Nqz=21)
+        assert sse_flops_omen(p) / sse_flops_dace(p) == pytest.approx(2.0, rel=0.01)
+
+    def test_table8_gf_extrapolation(self):
+        """Same bnum (equal device length) extrapolates to 10,240 atoms."""
+        p = PAPER_STRUCTURE_10240.replace(Nkz=11, Nqz=11)
+        assert gf_phase_flops(p) / 1e15 == pytest.approx(2922, rel=0.03)
+        assert sse_flops_dace(p) / 1e15 == pytest.approx(490, rel=0.01)
+
+    def test_totals_ordering(self):
+        f = iteration_flops(EVAL)
+        assert f.total_dace < f.total_omen
+
+
+class TestCommModels:
+    @pytest.mark.parametrize("nkz", list(TABLE4))
+    def test_table4(self, nkz):
+        P, omen_p, dace_p = TABLE4[nkz]
+        p = EVAL.replace(Nkz=nkz, Nqz=nkz)
+        t = paper_tiling(p, P, TE=nkz)
+        v = comm_volumes(p, P, t.TE, t.TA)
+        assert v.omen_tib == pytest.approx(omen_p, rel=0.005)
+        assert v.dace_tib == pytest.approx(dace_p, rel=0.01)
+
+    @pytest.mark.parametrize("P", list(TABLE5))
+    def test_table5(self, P):
+        omen_p, dace_p = TABLE5[P]
+        p = EVAL.replace(Nkz=7, Nqz=7)
+        t = paper_tiling(p, P, TE=7)
+        v = comm_volumes(p, P, t.TE, t.TA)
+        assert v.omen_tib == pytest.approx(omen_p, rel=0.005)
+        assert v.dace_tib == pytest.approx(dace_p, rel=0.01)
+
+    def test_omen_g_term_independent_of_p(self):
+        p = EVAL
+        v1 = omen_comm_total_bytes(p, 100)
+        v2 = omen_comm_total_bytes(p, 200)
+        d_term = 64 * p.Nqz * p.Nw * p.NA * p.NB * 9
+        assert v2 - v1 == pytest.approx(100 * d_term)
+
+    def test_volume_mismatched_tiling_raises(self):
+        with pytest.raises(ValueError):
+            comm_volumes(EVAL, 100, 3, 7)
+
+    def test_paper_tiling_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            paper_tiling(EVAL, 100, TE=3)
+
+
+class TestTileSearch:
+    def test_search_beats_or_matches_paper_tiling(self):
+        p = EVAL.replace(Nkz=7, Nqz=7)
+        best = search_tiling(p, 1792)
+        paper = paper_tiling(p, 1792, TE=7)
+        assert best.total_bytes <= paper.total_bytes * 1.0001
+
+    def test_search_is_global_minimum(self):
+        p = EVAL
+        P = 768
+        best = search_tiling(p, P)
+        for TE, TA in factor_pairs(P):
+            if TE <= p.NE and TA <= p.NA:
+                assert best.total_bytes <= dace_comm_total_bytes(p, TE, TA) + 1
+
+    def test_search_respects_feasibility(self):
+        p = SimulationParameters(Nkz=2, Nqz=2, NE=8, Nw=2, NA=16, NB=4,
+                                 Norb=2, bnum=4)
+        t = search_tiling(p, 16)
+        assert t.TE <= 8 and t.TA <= 16
+
+    def test_search_infeasible_raises(self):
+        p = SimulationParameters(Nkz=2, Nqz=2, NE=8, Nw=2, NA=16, NB=4,
+                                 Norb=2, bnum=4)
+        with pytest.raises(ValueError):
+            search_tiling(p, 1009)  # prime > NE and > NA
+
+    @given(P=st.integers(1, 4000))
+    @settings(max_examples=60, deadline=None)
+    def test_factor_pairs_property(self, P):
+        pairs = factor_pairs(P)
+        assert all(a * b == P for a, b in pairs)
+        assert (1, P) in pairs and (P, 1) in pairs
+        assert len(pairs) == len(set(pairs))
+
+
+class TestScalingModel:
+    def test_rate_composition(self):
+        assert SUMMIT.rate("gf", "dace", 6) == pytest.approx(
+            6 * SUMMIT.peak_proc_flops * 0.445
+        )
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            predict_times(SUMMIT, EVAL, 100, "magic")
+
+    def test_compute_halves_with_double_procs(self):
+        p = EVAL.replace(Nkz=7, Nqz=7)
+        a = predict_times(PIZ_DAINT, p, 224)
+        b = predict_times(PIZ_DAINT, p, 448)
+        assert b.compute == pytest.approx(a.compute / 2)
+
+    def test_dace_comm_shrinks_sublinearly(self):
+        p = EVAL.replace(Nkz=7, Nqz=7)
+        a = predict_times(PIZ_DAINT, p, 224)
+        b = predict_times(PIZ_DAINT, p, 2688)
+        assert b.comm < a.comm
+        assert b.comm > a.comm / 12  # halo floors prevent ideal scaling
+
+    def test_omen_comm_grows_with_p(self):
+        p = EVAL.replace(Nkz=7, Nqz=7)
+        a = predict_times(PIZ_DAINT, p, 224, "omen")
+        b = predict_times(PIZ_DAINT, p, 2688, "omen")
+        assert b.comm > a.comm
+
+    def test_paper_speedup_anchors(self):
+        """§5.2: 16.3x on Piz Daint (smallest strong-scaling point) and
+        ~417x communication improvement at 2,688 processes."""
+        p = EVAL.replace(Nkz=7, Nqz=7)
+        pts = strong_scaling(PIZ_DAINT, p, [224, 2688])
+        assert pts[0].speedup == pytest.approx(16.3, rel=0.1)
+        assert pts[1].comm_speedup == pytest.approx(417.2, rel=0.25)
+
+    def test_summit_speedup_anchor(self):
+        p = EVAL.replace(Nkz=7, Nqz=7)
+        pts = strong_scaling(SUMMIT, p, [1368])
+        assert pts[0].speedup == pytest.approx(24.5, rel=0.2)
+        assert pts[0].comm_speedup == pytest.approx(79.7, rel=0.25)
+
+    def test_table8_times(self):
+        rows = [(11, 1852, 75.84, 95.46), (15, 2580, 75.90, 116.67),
+                (21, 3525, 76.09, 175.15)]
+        for nkz, nodes, gf_p, sse_p in rows:
+            p = PAPER_STRUCTURE_10240.replace(Nkz=nkz, Nqz=nkz)
+            t = predict_times(SUMMIT, p, nodes * 6)
+            assert t.gf == pytest.approx(gf_p, rel=0.05)
+            assert t.sse == pytest.approx(sse_p, rel=0.06)
+
+    def test_weak_scaling_series(self):
+        pts = weak_scaling(PIZ_DAINT, EVAL, [3, 5, 7], 256)
+        assert [pt.processes for pt in pts] == [768, 1280, 1792]
+        # Ideal weak scaling is flat in GF; SSE grows with Nkz.
+        assert pts[0].dace.gf == pytest.approx(pts[2].dace.gf, rel=0.01)
+        assert pts[2].dace.sse > pts[0].dace.sse

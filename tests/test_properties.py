@@ -1,0 +1,111 @@
+"""Cross-module property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationParameters
+from repro.model import (
+    comm_volumes,
+    dace_comm_total_bytes,
+    omen_comm_total_bytes,
+    search_tiling,
+    sse_flops_dace,
+    sse_flops_omen,
+)
+from repro.negf.sse import preprocess_phonon_green, sigma_sse
+from repro.sdfg import Map, Memlet, Range, propagate_memlet, symbols
+
+
+_params = st.builds(
+    SimulationParameters,
+    Nkz=st.integers(1, 8),
+    Nqz=st.just(1),
+    NE=st.integers(64, 512),
+    Nw=st.integers(4, 32),
+    NA=st.integers(256, 4096),
+    NB=st.integers(4, 32),
+    Norb=st.integers(2, 16),
+    bnum=st.integers(4, 16),
+).map(lambda p: p.replace(Nqz=p.Nkz))
+
+
+class TestModelProperties:
+    @given(p=_params)
+    @settings(max_examples=40, deadline=None)
+    def test_dace_flops_never_exceed_omen(self, p):
+        assert sse_flops_dace(p) <= sse_flops_omen(p)
+
+    @given(p=_params, P=st.sampled_from([64, 128, 256, 512]))
+    @settings(max_examples=40, deadline=None)
+    def test_searched_volume_below_omen(self, p, P):
+        t = search_tiling(p, P)
+        v = comm_volumes(p, P, t.TE, t.TA)
+        assert v.dace <= v.omen
+
+    @given(p=_params)
+    @settings(max_examples=30, deadline=None)
+    def test_omen_volume_monotone_in_p(self, p):
+        assert omen_comm_total_bytes(p, 128) <= omen_comm_total_bytes(p, 256)
+
+    @given(p=_params, TE=st.sampled_from([1, 2, 4]), TA=st.sampled_from([8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_dace_volume_positive(self, p, TE, TA):
+        assert dace_comm_total_bytes(p, TE, TA) > 0
+
+
+class TestPropagationProperties:
+    @given(
+        shift=st.integers(-4, 4),
+        n=st.integers(2, 8),
+        m=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_propagated_range_covers_all_accesses(self, shift, n, m):
+        """Brute-force enumeration is always inside the propagated box."""
+        i, j = symbols("i j")
+        mem = Memlet("A", Range([(i + shift * j, i + shift * j)]))
+        mp = Map("m", ["i", "j"], Range([(0, n - 1), (0, m - 1)]))
+        out = propagate_memlet(mem, mp)
+        b, e, _ = out.subset.evaluate({})[0]
+        for ii in range(n):
+            for jj in range(m):
+                assert b <= ii + shift * jj <= e
+
+
+class TestSSEProperties:
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_variants_agree_on_random_inputs(self, seed, ring_neighbors):
+        neigh, rev = ring_neighbors
+        rng = np.random.default_rng(seed)
+        NA, NB = neigh.shape
+        Nkz, NE, Nqz, Nw, N3D, No = 2, 5, 2, 2, 2, 2
+
+        def c(*s):
+            return rng.standard_normal(s) + 1j * rng.standard_normal(s)
+
+        G = c(Nkz, NE, NA, No, No)
+        dH = c(NA, NB, N3D, No, No)
+        Dc = preprocess_phonon_green(c(Nqz, Nw, NA, NB + 1, N3D, N3D), neigh, rev)
+        a = sigma_sse(G, dH, Dc, neigh, +1, "omen")
+        b = sigma_sse(G, dH, Dc, neigh, +1, "dace")
+        assert np.allclose(a, b, atol=1e-10)
+
+    @given(scale=st.floats(0.1, 10.0))
+    @settings(max_examples=10, deadline=None)
+    def test_bilinearity(self, scale, ring_neighbors):
+        neigh, rev = ring_neighbors
+        rng = np.random.default_rng(5)
+        NA, NB = neigh.shape
+
+        def c(*s):
+            return rng.standard_normal(s) + 1j * rng.standard_normal(s)
+
+        G = c(2, 4, NA, 2, 2)
+        dH = c(NA, NB, 2, 2, 2)
+        Dc = preprocess_phonon_green(c(2, 2, NA, NB + 1, 2, 2), neigh, rev)
+        base = sigma_sse(G, dH, Dc, neigh)
+        scaled = sigma_sse(G, dH, scale * Dc, neigh)
+        assert np.allclose(scaled, scale * base, rtol=1e-9)

@@ -1,0 +1,174 @@
+"""RGF solver vs dense references, and open-boundary solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.negf import (
+    block_offsets,
+    dense_reference,
+    lead_self_energy,
+    rgf_solve,
+    sancho_rubio,
+    surface_greens_function,
+    transfer_matrix_modes,
+)
+
+
+def random_system(sizes, seed=0, eta=0.05, with_injection=True):
+    rng = np.random.default_rng(seed)
+
+    def herm(n):
+        m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        return m + m.conj().T
+
+    E = 0.2
+    diag, upper, sless = [], [], []
+    for i, s in enumerate(sizes):
+        d = E * np.eye(s) - herm(s) + 1j * eta * np.eye(s)
+        diag.append(d)
+        if with_injection and i in (0, len(sizes) - 1):
+            g = rng.standard_normal((s, s)) + 1j * rng.standard_normal((s, s))
+            sless.append(1j * (g @ g.conj().T) * 0.4)
+        else:
+            sless.append(np.zeros((s, s), dtype=complex))
+    for i in range(len(sizes) - 1):
+        upper.append(
+            rng.standard_normal((sizes[i], sizes[i + 1]))
+            + 1j * rng.standard_normal((sizes[i], sizes[i + 1]))
+        )
+    return diag, upper, sless
+
+
+class TestRGF:
+    @pytest.mark.parametrize("sizes", [[3], [2, 2], [3, 4, 2], [2, 5, 3, 4, 2]])
+    def test_matches_dense(self, sizes):
+        diag, upper, sless = random_system(sizes)
+        res = rgf_solve(diag, upper, sless)
+        GRd, Gld = dense_reference(diag, upper, sless)
+        offs = block_offsets(diag)
+        for i in range(len(sizes)):
+            sl = slice(offs[i], offs[i + 1])
+            assert np.allclose(res.GR[i], GRd[sl, sl], atol=1e-12)
+            assert np.allclose(res.Gl[i], Gld[sl, sl], atol=1e-12)
+
+    def test_retarded_only_mode(self):
+        diag, upper, _ = random_system([3, 3, 3])
+        res = rgf_solve(diag, upper)
+        assert res.Gl == [] and res.Gg == []
+        GRd, _ = dense_reference(diag, upper)
+        assert np.allclose(res.GR[0], GRd[:3, :3])
+
+    def test_greater_identity(self):
+        """G> - G< = GR - GA on every diagonal block."""
+        diag, upper, sless = random_system([3, 2, 4])
+        res = rgf_solve(diag, upper, sless)
+        for i in range(3):
+            lhs = res.Gg[i] - res.Gl[i]
+            rhs = res.GR[i] - res.GR[i].conj().T
+            assert np.allclose(lhs, rhs, atol=1e-12)
+
+    def test_lesser_antihermitian(self):
+        """G< is anti-Hermitian when σ< is (physical injection)."""
+        diag, upper, sless = random_system([3, 3])
+        res = rgf_solve(diag, upper, sless)
+        for g in res.Gl:
+            assert np.abs(g + g.conj().T).max() < 1e-12
+
+    def test_spectral_positive(self):
+        """i(GR - GA) is PSD (spectral function) on diagonal blocks."""
+        diag, upper, sless = random_system([4, 4, 4])
+        res = rgf_solve(diag, upper, sless)
+        for g in res.GR:
+            A = 1j * (g - g.conj().T)
+            assert np.linalg.eigvalsh(A)[0] > -1e-10
+
+    def test_wrong_upper_count_raises(self):
+        diag, upper, sless = random_system([3, 3])
+        with pytest.raises(ValueError):
+            rgf_solve(diag, [], sless)
+
+    def test_wrong_sigma_count_raises(self):
+        diag, upper, sless = random_system([3, 3])
+        with pytest.raises(ValueError):
+            rgf_solve(diag, upper, sless[:1])
+
+    @given(
+        nblocks=st.integers(1, 5),
+        size=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_dense(self, nblocks, size, seed):
+        sizes = [size] * nblocks
+        diag, upper, sless = random_system(sizes, seed=seed)
+        res = rgf_solve(diag, upper, sless)
+        GRd, Gld = dense_reference(diag, upper, sless)
+        offs = block_offsets(diag)
+        for i in range(nblocks):
+            sl = slice(offs[i], offs[i + 1])
+            assert np.allclose(res.GR[i], GRd[sl, sl], atol=1e-10)
+            assert np.allclose(res.Gl[i], Gld[sl, sl], atol=1e-10)
+
+
+class TestBoundary:
+    def test_1d_chain_analytic(self):
+        """Single orbital chain: g = (E-ε ± sqrt((E-ε)²-4t²)) / 2t²."""
+        t, eps, E = 0.7, 0.1, 0.4
+        H00 = np.array([[eps]], dtype=complex)
+        H01 = np.array([[t]], dtype=complex)
+        g = sancho_rubio(E, H00, H01, eta=1e-9)
+        # Self-consistency: g = 1 / (E - eps - t² g)
+        resid = g[0, 0] - 1.0 / (E - eps - t**2 * g[0, 0])
+        assert abs(resid) < 1e-6
+
+    @pytest.mark.parametrize("E", [-0.8, 0.0, 0.4, 1.2])
+    def test_methods_agree_electrons(self, small_model, E):
+        H = small_model.hamiltonian_blocks(0.3)
+        S = small_model.overlap_blocks(0.3)
+        g1 = surface_greens_function(
+            E, H.diag[0], H.upper[0], S.diag[0], S.upper[0], 1e-5, "sancho-rubio"
+        )
+        g2 = surface_greens_function(
+            E, H.diag[0], H.upper[0], S.diag[0], S.upper[0], 1e-5, "transfer-matrix"
+        )
+        assert np.abs(g1 - g2).max() < 1e-7
+
+    def test_methods_agree_phonons(self, small_model):
+        Phi = small_model.dynamical_blocks(0.5)
+        w2 = 0.9
+        g1 = surface_greens_function(
+            w2, Phi.diag[0], Phi.upper[0], eta=1e-5, method="sancho-rubio"
+        )
+        g2 = surface_greens_function(
+            w2, Phi.diag[0], Phi.upper[0], eta=1e-5, method="transfer-matrix"
+        )
+        assert np.abs(g1 - g2).max() < 1e-6
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_gamma_positive(self, small_model, side):
+        H = small_model.hamiltonian_blocks(0.0)
+        S = small_model.overlap_blocks(0.0)
+        sig = lead_self_energy(
+            0.3, H.diag[0], H.upper[0], side, S.diag[0], S.upper[0], eta=1e-6
+        )
+        gam = 1j * (sig - sig.conj().T)
+        assert np.linalg.eigvalsh(gam)[0] > -1e-8
+
+    def test_unknown_method_raises(self, small_model):
+        H = small_model.hamiltonian_blocks(0.0)
+        with pytest.raises(ValueError):
+            surface_greens_function(0.1, H.diag[0], H.upper[0], method="beyn")
+
+    def test_unknown_side_raises(self, small_model):
+        H = small_model.hamiltonian_blocks(0.0)
+        with pytest.raises(ValueError):
+            lead_self_energy(0.1, H.diag[0], H.upper[0], "top")
+
+    def test_retarded_analyticity(self, small_model):
+        """Larger η gives a smoother (smaller-norm) surface GF."""
+        H = small_model.hamiltonian_blocks(0.0)
+        g_sharp = sancho_rubio(0.4, H.diag[0], H.upper[0], eta=1e-6)
+        g_soft = sancho_rubio(0.4, H.diag[0], H.upper[0], eta=0.1)
+        assert np.abs(g_soft).max() <= np.abs(g_sharp).max() + 1.0

@@ -1,0 +1,124 @@
+"""Self-consistent Born driver: physics invariants and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.negf import SCBASettings, SCBASimulation, bose, build_device, build_hamiltonian_model, fermi
+
+
+@pytest.fixture(scope="module")
+def sim_factory():
+    dev = build_device(nx_cols=6, ny_rows=3, NB=4, slab_width=2)
+    model = build_hamiltonian_model(dev, Norb=2)
+
+    def make(**kwargs):
+        defaults = dict(
+            NE=12, Nkz=2, Nqz=2, Nw=2, e_min=-1.3, e_max=1.3,
+            mu_left=0.2, mu_right=-0.2, eta=1e-5,
+            coupling=0.25, mixing=0.6, max_iterations=20, tolerance=1e-5,
+        )
+        defaults.update(kwargs)
+        return SCBASimulation(model, SCBASettings(**defaults))
+
+    return make
+
+
+class TestOccupations:
+    def test_fermi_limits(self):
+        assert fermi(-100.0, 0.0, 0.05) == pytest.approx(1.0)
+        assert fermi(+100.0, 0.0, 0.05) == pytest.approx(0.0)
+        assert fermi(0.0, 0.0, 0.05) == pytest.approx(0.5)
+
+    def test_fermi_no_overflow(self):
+        assert np.isfinite(fermi(1e6, 0.0, 1e-9))
+
+    def test_bose_positive_and_diverges_at_zero(self):
+        assert bose(1e-9, 0.1) > bose(0.5, 0.1) > 0
+
+    def test_bose_high_t(self):
+        # classical limit n ≈ kT/ω
+        assert bose(0.01, 1.0) == pytest.approx(100.0, rel=0.01)
+
+
+class TestBallistic:
+    def test_flux_conservation_scales_with_eta(self, sim_factory):
+        mismatches = []
+        for eta in (1e-4, 1e-6):
+            res = sim_factory(eta=eta).run(ballistic=True)
+            mismatches.append(
+                abs(res.total_current_left + res.total_current_right)
+            )
+        assert mismatches[1] < mismatches[0] / 10
+
+    def test_current_direction_follows_bias(self, sim_factory):
+        res = sim_factory().run(ballistic=True)
+        assert res.total_current_left > 0  # μ_L > μ_R drives L -> R
+
+    def test_zero_bias_zero_current(self, sim_factory):
+        res = sim_factory(mu_left=0.0, mu_right=0.0).run(ballistic=True)
+        scale = abs(sim_factory().run(ballistic=True).total_current_left)
+        assert abs(res.total_current_left) < 2e-2 * scale
+
+    def test_density_nonnegative(self, sim_factory):
+        res = sim_factory().run(ballistic=True)
+        assert (res.density > -1e-10).all()
+
+    def test_density_increases_with_mu(self, sim_factory):
+        lo = sim_factory(mu_left=-0.5, mu_right=-0.5).run(ballistic=True)
+        hi = sim_factory(mu_left=0.5, mu_right=0.5).run(ballistic=True)
+        assert hi.density.sum() > lo.density.sum()
+
+    def test_lesser_antihermitian(self, sim_factory):
+        res = sim_factory().run(ballistic=True)
+        swap = np.conj(np.swapaxes(res.Gl, -1, -2))
+        assert np.abs(res.Gl + swap).max() < 1e-10
+
+    def test_spectral_identity(self, sim_factory):
+        """A = i(G> - G<) = i(GR - GA) is PSD on every atom block."""
+        res = sim_factory().run(ballistic=True)
+        A = 1j * (res.Gg - res.Gl)
+        lam = np.linalg.eigvalsh(A.reshape(-1, A.shape[-2], A.shape[-1]))
+        assert lam.min() > -1e-8
+
+
+class TestSCBA:
+    def test_converges(self, sim_factory):
+        res = sim_factory(max_iterations=25).run()
+        assert res.converged
+        assert res.history[-1] < 1e-5
+
+    def test_residuals_trend_down(self, sim_factory):
+        res = sim_factory(max_iterations=25).run()
+        assert res.history[-1] < res.history[0]
+
+    def test_zero_coupling_equals_ballistic(self, sim_factory):
+        bal = sim_factory().run(ballistic=True)
+        scba = sim_factory(coupling=0.0, max_iterations=3).run()
+        assert np.allclose(scba.Gl, bal.Gl, atol=1e-10)
+
+    def test_scattering_perturbs_current_smoothly(self, sim_factory):
+        """Electron-phonon coupling changes the current continuously: the
+        effect grows with coupling strength (here phonon-assisted channels
+        slightly raise the current) but stays a perturbation."""
+        bal = sim_factory().run(ballistic=True).total_current_left
+        d1 = sim_factory(coupling=0.2, max_iterations=25).run().total_current_left
+        d2 = sim_factory(coupling=0.5, max_iterations=25).run().total_current_left
+        assert d1 != bal
+        assert abs(d2 - bal) > abs(d1 - bal)
+        assert abs(d2 - bal) < 0.5 * abs(bal)
+
+    def test_sse_variant_agnostic(self, sim_factory):
+        a = sim_factory(sse_variant="dace", max_iterations=4).run()
+        b = sim_factory(sse_variant="omen", max_iterations=4).run()
+        assert np.allclose(a.Gl, b.Gl, atol=1e-9)
+
+    def test_phonon_tensors_shape(self, sim_factory):
+        res = sim_factory().run(ballistic=True)
+        s = sim_factory().s
+        NA = res.Gl.shape[2]
+        assert res.Dl.shape == (s.Nqz, s.Nw, NA, 5, 3, 3)
+
+    def test_self_energy_shapes(self, sim_factory):
+        res = sim_factory(max_iterations=4).run()
+        assert res.Sigma_l.shape == res.Gl.shape
+        assert res.Pi_l.shape == res.Dl.shape
