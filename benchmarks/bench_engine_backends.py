@@ -1,0 +1,94 @@
+"""Engine backends: serial vs batched vs multiprocess grid sweeps.
+
+Times ``N_SWEEPS`` spectral-grid sweeps — the GF phase of successive Born
+iterations — on a Fig.-13-style grid (NE=64, Nkz=4) for four
+configurations:
+
+* ``seed``         — the per-point loop with the seed's per-iteration
+  boundary recomputation (``engine="serial", cache_boundary=False``);
+* ``serial``       — per-point loop + boundary memoization;
+* ``batched``      — stacked ``[batch, bnum, n, n]`` tensor systems;
+* ``multiprocess`` — batched rows over an OmenDecomposition process pool.
+
+Emits ``BENCH_engine.json`` next to this file and asserts the acceptance
+criterion of ISSUE 1: the batched backend beats the seed per-point loop
+by >= 3x wall clock.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import render_table
+from repro.analysis.report import report
+from repro.negf import (
+    SCBASettings,
+    SCBASimulation,
+    build_device,
+    build_hamiltonian_model,
+)
+
+#: Fig.-13-style spectral grid (scaled to CI size): NE >= 64, Nkz >= 4.
+GRID = dict(NE=64, Nkz=4, Nqz=4, Nw=6, e_min=-1.5, e_max=1.5, eta=1e-3)
+#: GF sweeps timed per backend (successive Born iterations).
+N_SWEEPS = 4
+
+BACKENDS = [
+    ("seed", "serial", False),
+    ("serial", "serial", True),
+    ("batched", "batched", True),
+    ("multiprocess", "multiprocess", True),
+]
+
+_OUT = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+def _time_backend(model, engine: str, cache_boundary: bool) -> float:
+    settings = SCBASettings(
+        engine=engine, cache_boundary=cache_boundary, **GRID
+    )
+    sim = SCBASimulation(model, settings)
+    start = time.perf_counter()
+    for _ in range(N_SWEEPS):
+        sim.solve_electrons(None, None, None)
+        sim.solve_phonons(None, None)
+    return time.perf_counter() - start
+
+
+def run_engine_comparison() -> dict:
+    dev = build_device(nx_cols=8, ny_rows=4, NB=6, slab_width=2)
+    model = build_hamiltonian_model(dev, Norb=2)
+    timings = {
+        label: _time_backend(model, engine, cache)
+        for label, engine, cache in BACKENDS
+    }
+    seed = timings["seed"]
+    return {
+        "grid": {**GRID, "NA": dev.NA, "bnum": dev.bnum, "Norb": 2},
+        "n_sweeps": N_SWEEPS,
+        "seconds": timings,
+        "speedup_vs_seed": {k: seed / v for k, v in timings.items()},
+    }
+
+
+def test_engine_backends(benchmark):
+    record = benchmark.pedantic(run_engine_comparison, rounds=1, iterations=1)
+    _OUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    report(
+        render_table(
+            f"Engine backends, {N_SWEEPS} GF sweeps on NE={GRID['NE']}, "
+            f"Nkz={GRID['Nkz']} [seconds]",
+            ["backend", "seconds", "speedup vs seed"],
+            [
+                [k, f"{record['seconds'][k]:.3f}",
+                 f"{record['speedup_vs_seed'][k]:.2f}x"]
+                for k, _, _ in BACKENDS
+            ],
+        )
+    )
+
+    # Boundary memoization alone must already pay off.
+    assert record["speedup_vs_seed"]["serial"] > 1.1
+    # ISSUE 1 acceptance: batched >= 3x over the seed per-point loop.
+    assert record["speedup_vs_seed"]["batched"] >= 3.0

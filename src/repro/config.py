@@ -8,10 +8,43 @@ communication volumes).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-__all__ = ["PARAMETER_RANGES", "SimulationParameters", "PAPER_STRUCTURE_4864", "PAPER_STRUCTURE_10240"]
+__all__ = [
+    "PARAMETER_RANGES",
+    "EXECUTION_BACKENDS",
+    "default_engine",
+    "SimulationParameters",
+    "PAPER_STRUCTURE_4864",
+    "PAPER_STRUCTURE_10240",
+]
+
+#: Execution backends of the spectral-grid engine (``repro.negf.engine``):
+#: ``serial`` is the per-point reference loop (bit-exactness oracle),
+#: ``batched`` solves stacked block-tridiagonal systems per momentum row,
+#: ``multiprocess`` fans the batched rows out over a process pool.
+EXECUTION_BACKENDS: Tuple[str, ...] = ("serial", "batched", "multiprocess")
+
+
+def default_engine() -> str:
+    """Engine backend used when ``SCBASettings.engine`` is not set.
+
+    Overridable through the ``REPRO_ENGINE`` environment variable (an
+    explicitly set but unknown value raises); the built-in default is
+    ``batched`` (validated against ``serial`` to 1e-10 in
+    ``tests/test_engine.py``).
+    """
+    env = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if not env:
+        return "batched"
+    if env not in EXECUTION_BACKENDS:
+        raise ValueError(
+            f"REPRO_ENGINE={env!r} is not a valid backend; "
+            f"expected one of {EXECUTION_BACKENDS}"
+        )
+    return env
 
 #: Valid ranges from Table 1 (inclusive).  ``NA`` is structure-dependent.
 PARAMETER_RANGES: Dict[str, Tuple[int, int]] = {

@@ -2,12 +2,30 @@
 
 from .boundary import (
     lead_self_energy,
+    lead_self_energy_batched,
     sancho_rubio,
+    sancho_rubio_batched,
     surface_greens_function,
     transfer_matrix_modes,
 )
+from .engine import (
+    BatchedEngine,
+    BoundaryCache,
+    GridEngine,
+    MultiprocessEngine,
+    SerialEngine,
+    SpectralGrid,
+    make_engine,
+)
 from .hamiltonian import BlockTridiagonal, HamiltonianModel, build_hamiltonian_model
-from .rgf import RGFResult, block_offsets, dense_reference, rgf_solve
+from .rgf import (
+    BatchedRGFResult,
+    RGFResult,
+    block_offsets,
+    dense_reference,
+    rgf_solve,
+    rgf_solve_batched,
+)
 from .scba import SCBAResult, SCBASettings, SCBASimulation, bose, fermi
 from .sparse_kernels import METHODS, generate_rgf_operands, three_matrix_product
 from .sse import (
@@ -21,16 +39,27 @@ from .structure import DeviceStructure, build_device
 
 __all__ = [
     "lead_self_energy",
+    "lead_self_energy_batched",
     "sancho_rubio",
+    "sancho_rubio_batched",
     "surface_greens_function",
     "transfer_matrix_modes",
+    "BatchedEngine",
+    "BoundaryCache",
+    "GridEngine",
+    "MultiprocessEngine",
+    "SerialEngine",
+    "SpectralGrid",
+    "make_engine",
     "BlockTridiagonal",
     "HamiltonianModel",
     "build_hamiltonian_model",
+    "BatchedRGFResult",
     "RGFResult",
     "block_offsets",
     "dense_reference",
     "rgf_solve",
+    "rgf_solve_batched",
     "SCBAResult",
     "SCBASettings",
     "SCBASimulation",

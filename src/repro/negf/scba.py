@@ -7,6 +7,13 @@ the new Green's functions, mixes, and repeats until the Green's-function
 update drops below tolerance — exactly the outer state machine of the
 paper's top-level SDFG (Fig. 6).
 
+The grid sweeps themselves are delegated to a pluggable spectral-grid
+execution engine (:mod:`repro.negf.engine`): ``serial`` (the per-point
+reference loop), ``batched`` (stacked tensor systems, the default), or
+``multiprocess`` (batched rows over a process pool), selected with
+:attr:`SCBASettings.engine`.  All backends memoize the iteration-invariant
+lead self-energies across Born iterations.
+
 Physical conventions (dimensionless units, ħ = e = 1):
 
 * electron boundary occupation: Fermi-Dirac with per-lead chemical
@@ -22,29 +29,16 @@ Physical conventions (dimensionless units, ħ = e = 1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Tuple
+from typing import List, Literal, Optional
 
 import numpy as np
 
-from .boundary import lead_self_energy
-from .hamiltonian import BlockTridiagonal, HamiltonianModel
-from .rgf import rgf_solve
+from ..config import default_engine
+from .engine import SpectralGrid, bose, fermi, make_engine
+from .hamiltonian import HamiltonianModel
 from .sse import pi_sse, preprocess_phonon_green, retarded_from_lesser_greater, sigma_sse
 
 __all__ = ["SCBASettings", "SCBAResult", "SCBASimulation", "fermi", "bose"]
-
-
-def fermi(E: np.ndarray, mu: float, kT: float) -> np.ndarray:
-    """Fermi-Dirac occupation (numerically safe for large arguments)."""
-    x = np.clip((np.asarray(E, dtype=float) - mu) / max(kT, 1e-12), -700, 700)
-    return 1.0 / (1.0 + np.exp(x))
-
-
-def bose(w: np.ndarray, kT: float) -> np.ndarray:
-    """Bose-Einstein occupation; ω -> 0 regularized."""
-    w = np.maximum(np.asarray(w, dtype=float), 1e-9)
-    x = np.clip(w / max(kT, 1e-12), 1e-9, 700)
-    return 1.0 / np.expm1(x)
 
 
 @dataclass
@@ -72,6 +66,15 @@ class SCBASettings:
     tolerance: float = 1e-5
     boundary_method: Literal["sancho-rubio", "transfer-matrix"] = "sancho-rubio"
     sse_variant: Literal["reference", "omen", "dace"] = "dace"
+    #: spectral-grid execution backend (see :mod:`repro.negf.engine`):
+    #: ``serial`` per-point oracle, ``batched`` stacked tensors,
+    #: ``multiprocess`` batched rows over a process pool
+    engine: Literal["serial", "batched", "multiprocess"] = field(
+        default_factory=default_engine
+    )
+    #: memoize lead self-energies across Born iterations; ``False``
+    #: restores the seed's per-iteration recomputation (benchmarks only)
+    cache_boundary: bool = True
 
 
 @dataclass
@@ -107,49 +110,28 @@ class SCBAResult:
 
 
 class SCBASimulation:
-    """Dissipative quantum transport on a synthetic device."""
+    """Dissipative quantum transport on a synthetic device.
+
+    The Born iteration, SSE evaluation, and observables live here; the
+    grid sweeps are executed by the backend named in ``settings.engine``
+    (see :mod:`repro.negf.engine`).
+    """
 
     def __init__(self, model: HamiltonianModel, settings: SCBASettings):
         self.model = model
         self.s = settings
-        dev = model.structure
-        self.NA = dev.NA
-        self.NB = dev.NB
-        self.Norb = model.Norb
-        self.N3D = model.N3D
-        self.energies = np.linspace(settings.e_min, settings.e_max, settings.NE)
-        self.dE = self.energies[1] - self.energies[0] if settings.NE > 1 else 1.0
-        self.kz_grid = 2.0 * np.pi * np.arange(settings.Nkz) / settings.Nkz - np.pi
-        self.qz_grid = self.kz_grid[: settings.Nqz]
-        #: phonon frequencies aligned with energy-grid shifts: ω_m = (m+1) dE
-        self.omegas = (np.arange(settings.Nw) + 1) * self.dE
-        self.rev = dev.reverse_neighbor()
-        self._atom_slices = self._build_atom_slices()
+        self.grid = SpectralGrid(model, settings)
+        self.engine = make_engine(settings.engine, self.grid)
+        g = self.grid
+        self.NA, self.NB = g.NA, g.NB
+        self.Norb, self.N3D = g.Norb, g.N3D
+        self.energies, self.dE = g.energies, g.dE
+        self.kz_grid, self.qz_grid = g.kz_grid, g.qz_grid
+        self.omegas = g.omegas
+        self.rev = g.rev
+        self._atom_slices = g.atom_slices
 
-    # -- helpers -------------------------------------------------------------
-    def _build_atom_slices(self) -> List[Tuple[int, slice, slice]]:
-        """Per atom: (block index, orbital slice in block, N3D slice)."""
-        dev = self.model.structure
-        local = {}
-        counters: Dict[int, int] = {}
-        for a in range(self.NA):
-            blk = int(dev.block_of[a])
-            i = counters.get(blk, 0)
-            counters[blk] = i + 1
-            local[a] = (blk, i)
-        out = []
-        for a in range(self.NA):
-            blk, i = local[a]
-            out.append(
-                (
-                    blk,
-                    slice(i * self.Norb, (i + 1) * self.Norb),
-                    slice(i * self.N3D, (i + 1) * self.N3D),
-                )
-            )
-        return out
-
-    # -- electron GF phase ------------------------------------------------------
+    # -- GF phases (delegated to the execution engine) ---------------------------
     def solve_electrons(
         self, sigma_r: Optional[np.ndarray], sigma_l: Optional[np.ndarray],
         sigma_g: Optional[np.ndarray],
@@ -160,82 +142,8 @@ class SCBASimulation:
         ``[Nkz, NE, NA, Norb, Norb]`` (or None in the ballistic limit).
         Returns ``(Gl, Gg, I_left, I_right)``.
         """
-        s = self.s
-        shape = (s.Nkz, s.NE, self.NA, self.Norb, self.Norb)
-        Gl = np.zeros(shape, dtype=np.complex128)
-        Gg = np.zeros(shape, dtype=np.complex128)
-        I_L = np.zeros((s.Nkz, s.NE))
-        I_R = np.zeros((s.Nkz, s.NE))
-        for ik, kz in enumerate(self.kz_grid):
-            H = self.model.hamiltonian_blocks(kz)
-            S = self.model.overlap_blocks(kz)
-            for iE, E in enumerate(self.energies):
-                diag, upper, sless, extras = self._electron_system(
-                    H, S, E, ik, iE, sigma_r, sigma_l, sigma_g
-                )
-                res = rgf_solve(diag, upper, sless)
-                self._scatter_to_atoms(res, Gl, Gg, ik, iE)
-                I_L[ik, iE], I_R[ik, iE] = self._contact_currents(res, extras)
-        return Gl, Gg, I_L, I_R
+        return self.engine.solve_electrons(sigma_r, sigma_l, sigma_g)
 
-    def _electron_system(self, H, S, E, ik, iE, sigma_r, sigma_l, sigma_g):
-        s = self.s
-        diag = []
-        for i, (h, sv) in enumerate(zip(H.diag, S.diag)):
-            diag.append((E + 1j * s.eta) * sv - h)
-        upper = [E * u_s - u_h for u_h, u_s in zip(H.upper, S.upper)]
-
-        sig_L = lead_self_energy(
-            E, H.diag[0], H.upper[0], "left", S.diag[0], S.upper[0],
-            eta=s.eta, method=s.boundary_method,
-        )
-        sig_R = lead_self_energy(
-            E, H.diag[-1], H.upper[-1], "right", S.diag[-1], S.upper[-1],
-            eta=s.eta, method=s.boundary_method,
-        )
-        diag[0] = diag[0] - sig_L
-        diag[-1] = diag[-1] - sig_R
-
-        gam_L = 1j * (sig_L - sig_L.conj().T)
-        gam_R = 1j * (sig_R - sig_R.conj().T)
-        fL = fermi(E, s.mu_left, s.kT_el)
-        fR = fermi(E, s.mu_right, s.kT_el)
-        sless = [np.zeros_like(b) for b in diag]
-        sgreater_bdry = [np.zeros_like(b) for b in diag]
-        sless[0] = sless[0] + 1j * fL * gam_L
-        sless[-1] = sless[-1] + 1j * fR * gam_R
-        sgreater_bdry[0] = sgreater_bdry[0] - 1j * (1 - fL) * gam_L
-        sgreater_bdry[-1] = sgreater_bdry[-1] - 1j * (1 - fR) * gam_R
-
-        if sigma_r is not None:
-            for a, (blk, orb, _) in enumerate(self._atom_slices):
-                diag[blk][orb, orb] -= sigma_r[ik, iE, a]
-                sless[blk][orb, orb] += sigma_l[ik, iE, a]
-        extras = dict(gam_L=gam_L, gam_R=gam_R, fL=fL, fR=fR)
-        return diag, upper, sless, extras
-
-    def _scatter_to_atoms(self, res, Gl, Gg, ik, iE):
-        for a, (blk, orb, _) in enumerate(self._atom_slices):
-            Gl[ik, iE, a] = res.Gl[blk][orb, orb]
-            Gg[ik, iE, a] = res.Gg[blk][orb, orb]
-
-    def _contact_currents(self, res, extras) -> Tuple[float, float]:
-        """Meir-Wingreen integrand at both contacts.
-
-        ``I = Tr[Σ< G> - Σ> G<]`` with the *boundary* self-energies; in the
-        ballistic limit ``I_L = -I_R`` (flux conservation).
-        """
-        gl0, gg0 = res.Gl[0], res.Gg[0]
-        glN, ggN = res.Gl[-1], res.Gg[-1]
-        gam_L, gam_R = extras["gam_L"], extras["gam_R"]
-        fL, fR = extras["fL"], extras["fR"]
-        sl_L, sg_L = 1j * fL * gam_L, -1j * (1 - fL) * gam_L
-        sl_R, sg_R = 1j * fR * gam_R, -1j * (1 - fR) * gam_R
-        i_l = np.trace(sl_L @ gg0 - sg_L @ gl0)
-        i_r = np.trace(sl_R @ ggN - sg_R @ glN)
-        return float(i_l.real), float(i_r.real)
-
-    # -- phonon GF phase --------------------------------------------------------
     def solve_phonons(
         self, pi_r: Optional[np.ndarray], pi_l: Optional[np.ndarray]
     ):
@@ -245,68 +153,7 @@ class SCBASimulation:
         (block 0 = on-site).  Bond blocks crossing slab boundaries are not
         produced by the diagonal-block RGF and are left zero.
         """
-        s = self.s
-        shape = (s.Nqz, s.Nw, self.NA, self.NB + 1, self.N3D, self.N3D)
-        Dl = np.zeros(shape, dtype=np.complex128)
-        Dg = np.zeros(shape, dtype=np.complex128)
-        dev = self.model.structure
-        for iq, qz in enumerate(self.qz_grid):
-            Phi = self.model.dynamical_blocks(qz)
-            for iw, w in enumerate(self.omegas):
-                z = (w + 1j * s.eta) ** 2
-                diag = [z * np.eye(b.shape[0]) - b for b in Phi.diag]
-                upper = [-u for u in Phi.upper]
-
-                pi_L = lead_self_energy(
-                    z.real, Phi.diag[0], Phi.upper[0], "left",
-                    eta=max(s.eta, 2 * w * s.eta), method=s.boundary_method,
-                )
-                pi_R = lead_self_energy(
-                    z.real, Phi.diag[-1], Phi.upper[-1], "right",
-                    eta=max(s.eta, 2 * w * s.eta), method=s.boundary_method,
-                )
-                diag[0] = diag[0] - pi_L
-                diag[-1] = diag[-1] - pi_R
-
-                nb = bose(w, s.kT_ph)
-                gam_L = 1j * (pi_L - pi_L.conj().T)
-                gam_R = 1j * (pi_R - pi_R.conj().T)
-                pless = [np.zeros_like(b) for b in diag]
-                pless[0] = pless[0] + 1j * nb * gam_L
-                pless[-1] = pless[-1] + 1j * nb * gam_R
-
-                if pi_r is not None:
-                    self._add_phonon_scattering(diag, pless, pi_r, pi_l, iq, iw)
-
-                res = rgf_solve(diag, upper, pless)
-                self._scatter_phonons(res, Dl, Dg, iq, iw, dev)
-        return Dl, Dg
-
-    def _add_phonon_scattering(self, diag, pless, pi_r, pi_l, iq, iw):
-        """Insert Π self-energy blocks (on-site + intra-slab bonds)."""
-        dev = self.model.structure
-        for a, (blk, _, vib) in enumerate(self._atom_slices):
-            diag[blk][vib, vib] -= pi_r[iq, iw, a, 0]
-            pless[blk][vib, vib] += pi_l[iq, iw, a, 0]
-            for b in range(self.NB):
-                c = int(dev.neighbors[a, b])
-                blk_c, _, vib_c = self._atom_slices[c]
-                if blk_c != blk:
-                    continue  # cross-slab bond blocks dropped (see module doc)
-                diag[blk][vib, vib_c] -= pi_r[iq, iw, a, 1 + b]
-                pless[blk][vib, vib_c] += pi_l[iq, iw, a, 1 + b]
-
-    def _scatter_phonons(self, res, Dl, Dg, iq, iw, dev):
-        for a, (blk, _, vib) in enumerate(self._atom_slices):
-            Dl[iq, iw, a, 0] = res.Gl[blk][vib, vib]
-            Dg[iq, iw, a, 0] = res.Gg[blk][vib, vib]
-            for b in range(self.NB):
-                c = int(dev.neighbors[a, b])
-                blk_c, _, vib_c = self._atom_slices[c]
-                if blk_c != blk:
-                    continue
-                Dl[iq, iw, a, 1 + b] = res.Gl[blk][vib, vib_c]
-                Dg[iq, iw, a, 1 + b] = res.Gg[blk][vib, vib_c]
+        return self.engine.solve_phonons(pi_r, pi_l)
 
     # -- SSE phase -----------------------------------------------------------------
     def scattering_self_energies(self, Gl, Gg, Dl, Dg):

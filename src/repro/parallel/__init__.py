@@ -1,12 +1,17 @@
 """Simulated-MPI runtime, data decompositions, and SSE schedules."""
 
-from .decomposition import DaceDecomposition, OmenDecomposition
+from .decomposition import (
+    DaceDecomposition,
+    OmenDecomposition,
+    partition_spectral_grid,
+)
 from .schedules import DistributedSSEResult, dace_sse_phase, omen_sse_phase
 from .simmpi import CommStats, SimComm
 
 __all__ = [
     "DaceDecomposition",
     "OmenDecomposition",
+    "partition_spectral_grid",
     "DistributedSSEResult",
     "dace_sse_phase",
     "omen_sse_phase",

@@ -24,7 +24,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-__all__ = ["OmenDecomposition", "DaceDecomposition"]
+__all__ = ["OmenDecomposition", "DaceDecomposition", "partition_spectral_grid"]
 
 
 @dataclass(frozen=True)
@@ -123,3 +123,23 @@ class DaceDecomposition:
         lookup = -np.ones(int(ext.max()) + 1, dtype=np.int64)
         lookup[ext] = np.arange(len(ext))
         return lookup
+
+
+def partition_spectral_grid(
+    Nkz: int, NE: int, max_ranks: int
+) -> OmenDecomposition:
+    """The largest momentum x energy-chunk decomposition within a budget.
+
+    Used by the spectral-grid engine (``repro.negf.engine``) to map
+    per-``(kz, E-chunk)`` batches onto execution ranks: picks the largest
+    ``P = Nkz * n_chunks <= max_ranks`` with ``n_chunks`` dividing ``NE``,
+    falling back to one chunk per momentum (``P = Nkz``, always valid).
+    """
+    best = OmenDecomposition(Nkz=Nkz, NE=NE, P=Nkz)
+    for n_chunks in range(2, NE + 1):
+        if Nkz * n_chunks > max_ranks:
+            break
+        if NE % n_chunks:
+            continue
+        best = OmenDecomposition(Nkz=Nkz, NE=NE, P=Nkz * n_chunks)
+    return best

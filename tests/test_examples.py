@@ -1,5 +1,6 @@
 """Smoke tests: the fast example scripts run end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,14 +8,22 @@ from pathlib import Path
 import pytest
 
 _EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+_SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def _run(name: str, timeout: int = 240) -> str:
+    # Prepend src/ so the examples also run under a bare `pytest` (the
+    # ini-file pythonpath does not reach subprocesses).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     proc = subprocess.run(
         [sys.executable, str(_EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     return proc.stdout
