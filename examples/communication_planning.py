@@ -1,19 +1,21 @@
 """Communication planning for a production run (the §4.1 workflow).
 
-Given a device configuration and a target machine, derive the
-communication-avoiding decomposition: propagate memlets through the tiled
-SSE map symbolically, search the (TE, TA) tile space exhaustively, and
-compare the resulting volume and predicted iteration time against the
-original OMEN scheme.
+The workload is declared once through the ``paper_4864`` scenario preset
+(the 4,864-atom §5 structure); compiling it validates the Table-1
+parameters and produces the flop/footprint estimates.  From the plan's
+parameters we then derive the communication-avoiding decomposition for a
+target machine: propagate memlets through the tiled SSE map symbolically,
+search the (TE, TA) tile space exhaustively, and compare the resulting
+volume and predicted iteration time against the original OMEN scheme.
 
 Run:  python examples/communication_planning.py
 """
 
+from repro.api import scenario
 from repro.config import SimulationParameters
 from repro.model import (
     PIZ_DAINT,
     SUMMIT,
-    TIB,
     comm_volumes,
     predict_times,
     search_tiling,
@@ -39,7 +41,7 @@ def symbolic_footprint():
     print("  (the paper's min(Nkz, skz+sqz-1) unique elements)\n")
 
 
-def plan(p: SimulationParameters, machine, processes: int):
+def machine_plan(p: SimulationParameters, machine, processes: int):
     tiling = search_tiling(p, processes)
     v = comm_volumes(p, processes, tiling.TE, tiling.TA)
     t_dace = predict_times(machine, p, processes, "dace")
@@ -56,12 +58,19 @@ def plan(p: SimulationParameters, machine, processes: int):
 
 def main():
     symbolic_footprint()
-    p = SimulationParameters(
-        Nkz=7, Nqz=7, NE=706, Nw=70, NA=4864, NB=34, Norb=12, bnum=19
-    )
-    print(f"structure: NA={p.NA}, Norb={p.Norb}, NE={p.NE}, Nkz={p.Nkz}\n")
+
+    # The workload side of the §4.1 contract: the scenario preset carries
+    # the paper's exact Table-1 parameters (NB=34, Norb=12), which the
+    # compile step validates and prices before any machine is chosen.
+    workload = scenario("paper_4864")
+    plan = workload.compile(engine="batched")
+    print(plan.describe())
+    p = plan.groups[0].parameters
+    print(f"\nstructure: NA={p.NA}, Norb={p.Norb}, NE={p.NE}, Nkz={p.Nkz}\n")
+
+    # The machine side: decomposition + schedule per target system.
     for machine, procs in ((PIZ_DAINT, 896), (PIZ_DAINT, 2688), (SUMMIT, 1368)):
-        plan(p, machine, procs)
+        machine_plan(p, machine, procs)
 
 
 if __name__ == "__main__":

@@ -1,8 +1,10 @@
 """Quickstart: a dissipative quantum-transport simulation in ~30 lines.
 
-Builds a small synthetic FinFET slice, runs one ballistic solve and a full
-self-consistent Born (GF ⇄ SSE) loop, and prints currents + convergence.
-Also compares the spectral-grid engine backends (serial vs batched).
+Declares a small synthetic FinFET workload, compiles it into a plan
+(validation + engine/cache selection + cost estimate), and executes a
+ballistic reference and the full self-consistent Born (GF ⇄ SSE) loop
+through a :class:`repro.api.Session`.  Ends with the legacy-API engine
+comparison (serial vs batched) to show what the facade wraps.
 
 Run:  python examples/quickstart.py
 """
@@ -12,67 +14,63 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.negf import (
-    SCBASettings,
-    SCBASimulation,
-    build_device,
-    build_hamiltonian_model,
-)
+from repro.api import Session, scenario
+from repro.negf import SCBASettings, SCBASimulation
 
 
 def main():
-    # 1. Device structure: 12x4 atoms, 6 neighbors each, 2-column RGF slabs.
-    device = build_device(nx_cols=12, ny_rows=4, NB=6, slab_width=2)
-    print(f"device: NA={device.NA} atoms, NB={device.NB} neighbors, "
-          f"bnum={device.bnum} RGF blocks")
+    # 1. The workload: device, grid, and physics — declarative, no wiring.
+    workload = scenario("quickstart")
+    dev = workload.device
+    print(f"device: NA={dev.NA} atoms, NB={dev.NB} neighbors, "
+          f"bnum={dev.bnum} RGF blocks")
 
-    # 2. Synthetic DFT-like operators (H, S, Φ, ∇H).
-    model = build_hamiltonian_model(device, Norb=2)
+    # 2. Compile: Table-1 validation, backend choice, Table-3 cost model.
+    plan = workload.compile()
+    print(plan.describe())
 
-    # 3. Simulation settings: energy window, momentum grid, bias, coupling.
-    settings = SCBASettings(
-        NE=20, Nkz=2, Nqz=2, Nw=3,
-        e_min=-1.5, e_max=1.5,
-        mu_left=+0.2, mu_right=-0.2,
-        kT_el=0.05, kT_ph=0.05,
-        coupling=0.25, mixing=0.6,
-        max_iterations=20, tolerance=1e-5,
+    # 3. Ballistic reference (no electron-phonon scattering).
+    ballistic_wl = replace(
+        workload, physics=replace(workload.physics, transport="ballistic")
     )
-    sim = SCBASimulation(model, settings)
-
-    # 4. Ballistic reference (no electron-phonon scattering).
-    ballistic = sim.run(ballistic=True)
-    print(f"\nballistic:  I_left = {ballistic.total_current_left:+.4e}   "
-          f"I_right = {ballistic.total_current_right:+.4e}")
+    with Session(ballistic_wl.compile()) as session:
+        ballistic = session.run()[0]
+    print(f"\nballistic:  I_left = {ballistic.current_left:+.4e}   "
+          f"I_right = {ballistic.current_right:+.4e}")
     print(f"flux conservation |I_L + I_R| = "
-          f"{abs(ballistic.total_current_left + ballistic.total_current_right):.2e}")
+          f"{abs(ballistic.current_left + ballistic.current_right):.2e}")
 
-    # 5. Dissipative run: self-consistent Born iteration until convergence.
-    result = sim.run()
-    print(f"\ndissipative: converged={result.converged} "
-          f"after {result.iterations} iterations")
+    # 4. Dissipative run: self-consistent Born iteration until convergence.
+    with Session(plan) as session:
+        run = session.run()[0]
+        result = run.result
+        model = session.model
+    print(f"\ndissipative: converged={run.converged} "
+          f"after {run.iterations} iterations")
     print("residual history:", " ".join(f"{h:.1e}" for h in result.history))
-    print(f"I_left = {result.total_current_left:+.4e}")
-    print(f"total dissipated power: {result.dissipation.sum():+.4e}")
+    print(f"I_left = {run.current_left:+.4e}")
+    print(f"total dissipated power: {run.total_dissipation:+.4e}")
 
-    # 6. Where does the heat go? (per-atom dissipation, column averages)
-    cols = result.dissipation.reshape(device.nx, device.ny).mean(axis=1)
+    # 5. Where does the heat go? (per-atom dissipation, column averages)
+    structure = model.structure
+    cols = result.dissipation.reshape(structure.nx, structure.ny).mean(axis=1)
     peak = np.abs(cols).max() or 1.0
     print("\ndissipation profile along transport direction:")
     for i, c in enumerate(cols):
         bar = "#" * int(30 * abs(c) / peak)
         print(f"  x={i:2d}  {c:+.3e}  {bar}")
 
-    # 7. The same sweep through the engine backends: the batched backend
-    #    stacks all energies of one kz into one tensor solve and matches
-    #    the serial per-point loop to 1e-10.
-    print("\nengine backends (one ballistic GF sweep):")
+    # 6. Under the facade: the same sweep through the legacy engine API.
+    #    The batched backend stacks all energies of one kz into one tensor
+    #    solve and matches the serial per-point loop to 1e-10.
+    settings = SCBASettings(**plan.groups[0].point_settings(0))
+    print("\nengine backends (one ballistic GF sweep, legacy API):")
     reference = None
     for backend in ("serial", "batched"):
-        sim_b = SCBASimulation(model, replace(settings, engine=backend))
-        t0 = time.perf_counter()
-        Gl, _, _, _ = sim_b.solve_electrons(None, None, None)
-        elapsed = time.perf_counter() - t0
+        with SCBASimulation(model, replace(settings, engine=backend)) as sim:
+            t0 = time.perf_counter()
+            Gl, _, _, _ = sim.solve_electrons(None, None, None)
+            elapsed = time.perf_counter() - t0
         dev_str = ""
         if reference is not None:
             dev_str = f"  max dev vs serial = {np.abs(Gl - reference).max():.1e}"

@@ -1,56 +1,46 @@
 """Self-heating in a biased device (the paper's Fig. 1d scenario).
 
-Runs the dissipative SCBA loop and maps where electrons deposit energy
-into the lattice: the per-atom dissipated power peaks towards the drain
-side, the effect the paper's FinFET simulations resolve atomically.
+Runs the ``self_heating`` scenario — a dissipative SCBA workload — and
+maps where electrons deposit energy into the lattice: the per-atom
+dissipated power peaks towards the drain side, the effect the paper's
+FinFET simulations resolve atomically.
 
 Run:  python examples/self_heating.py
 """
 
 import numpy as np
 
-from repro.negf import (
-    SCBASettings,
-    SCBASimulation,
-    build_device,
-    build_hamiltonian_model,
-)
+from repro.api import Session, scenario
 
 
 def main():
-    device = build_device(nx_cols=12, ny_rows=4, NB=6, slab_width=2)
-    model = build_hamiltonian_model(device, Norb=2)
-    settings = SCBASettings(
-        NE=18, Nkz=2, Nqz=2, Nw=3,
-        e_min=-1.4, e_max=1.4,
-        mu_left=+0.3, mu_right=-0.3,
-        kT_el=0.05, kT_ph=0.05,
-        coupling=0.3, mixing=0.6,
-        max_iterations=25, tolerance=1e-5,
-    )
-    sim = SCBASimulation(model, settings)
-    res = sim.run()
-    print(f"converged={res.converged} after {res.iterations} iterations")
-    print(f"current: I_L={res.total_current_left:+.4e}")
+    workload = scenario("self_heating")
+    with Session(workload.compile()) as session:
+        run = session.run()[0]
+        structure = session.model.structure
+    res = run.result
+    print(f"converged={run.converged} after {run.iterations} iterations")
+    print(f"current: I_L={run.current_left:+.4e}")
 
     # 2-D dissipation map (x = transport, y = fin cross-section).
-    pmap = res.dissipation.reshape(device.nx, device.ny)
+    pmap = res.dissipation.reshape(structure.nx, structure.ny)
     scale = np.abs(pmap).max() or 1.0
     chars = " .:-=+*#%@"
     print("\natomically-resolved dissipation map "
           "(rows = y, columns = x = source->drain):")
-    for iy in range(device.ny):
+    for iy in range(structure.ny):
         row = ""
-        for ix in range(device.nx):
+        for ix in range(structure.nx):
             v = abs(pmap[ix, iy]) / scale
             row += chars[min(int(v * (len(chars) - 1)), len(chars) - 1)]
         print(f"  y={iy}  |{row}|")
 
     # Effective local temperature proxy: bath temperature plus a term
     # proportional to the local dissipated power (qualitative Fig. 1d map).
-    t_eff = settings.kT_ph + 0.5 * np.abs(pmap) / scale * settings.kT_ph
+    kT_ph = workload.physics.kT_ph
+    t_eff = kT_ph + 0.5 * np.abs(pmap) / scale * kT_ph
     print(f"\npeak effective temperature: {t_eff.max():.4f} "
-          f"(bath {settings.kT_ph})  at column "
+          f"(bath {kT_ph})  at column "
           f"{np.unravel_index(np.argmax(np.abs(pmap)), pmap.shape)[0]}")
     print("phonon occupations and temperature rise concentrate near the "
           "high-field region — the self-heating signature.")

@@ -22,10 +22,40 @@ Packages
 ``repro.model``
     Machine, performance (flop), communication-volume, and scaling models
     reproducing the paper's Tables 3-5, 8 and Fig. 13.
+``repro.api``
+    The public facade: declarative ``Workload`` → compiled ``Plan`` →
+    executed ``Session`` (with sweeps as first-class axes and named
+    scenario presets) — the canonical entry point for every scenario.
 ``repro.analysis``
     Experiment drivers that regenerate every table/figure of the paper.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: facade names re-exported lazily from :mod:`repro.api` (PEP 562), so
+#: ``import repro`` stays cheap for the analysis-only modules
+_API_EXPORTS = (
+    "Workload",
+    "DeviceSpec",
+    "GridSpec",
+    "PhysicsSpec",
+    "SweepAxis",
+    "Plan",
+    "Session",
+    "RunResult",
+    "SweepResult",
+    "compile_workload",
+    "register_scenario",
+    "scenario",
+    "scenarios",
+)
+
+__all__ = ["__version__", *_API_EXPORTS]
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,368 @@
+"""Plan: the explicit compile step between a Workload and its execution.
+
+This is where the "performance engineer" of the paper's §4.1 workflow
+lives, apart from the physics: compiling a :class:`~repro.api.Workload`
+
+* validates every sweep point against the Table-1 ``PARAMETER_RANGES``
+  (through :class:`repro.config.SimulationParameters`),
+* selects the spectral-grid execution backend, the boundary/operator
+  cache policy, and — for the multiprocess backend — the
+  ``(kz, E-chunk)`` rank decomposition,
+* groups sweep points by their *structural* settings (grid shape, η,
+  boundary method) so a :class:`~repro.api.Session` can reuse one
+  Hamiltonian, one :class:`~repro.negf.SpectralGrid`, one engine, and one
+  boundary cache across every point of a group (bias/temperature/gate
+  never invalidate them),
+* estimates cost with :mod:`repro.model.performance` (Table-3 flop
+  models) and tensor footprints,
+* records, for ``sse_variant="dace"``, the Fig. 8 → 12 transformation
+  recipe the SSE phase applies.
+
+A plan is inspectable (:meth:`Plan.describe`) and serializable
+(:meth:`Plan.to_json`), so execution choices can be reviewed, diffed, and
+archived independently of any run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import EXECUTION_BACKENDS, SimulationParameters, validate_parameters
+from ..model.performance import iteration_flops
+from ..parallel.decomposition import partition_spectral_grid
+from .workload import Workload
+
+__all__ = [
+    "PlanError",
+    "PlanCost",
+    "PlanGroup",
+    "Plan",
+    "STRUCTURAL_FIELDS",
+    "compile_workload",
+    "choose_engine",
+]
+
+
+class PlanError(ValueError):
+    """A workload cannot be compiled into a valid plan."""
+
+
+#: Settings fields whose change invalidates the spectral grid, the
+#: assembled operators, or the boundary cache.  Sweep points are grouped
+#: by these; everything else (bias, temperatures, coupling, mixing,
+#: tolerances) varies freely within a group without losing any reuse.
+STRUCTURAL_FIELDS: Tuple[str, ...] = (
+    "e_min",
+    "e_max",
+    "NE",
+    "Nkz",
+    "Nqz",
+    "Nw",
+    "eta",
+    "boundary_method",
+)
+
+#: multiprocess pays off only when the grid offers enough rank batches
+_MULTIPROCESS_MIN_POINTS = 2048
+
+
+def choose_engine(Nkz: int, NE: int) -> str:
+    """Deterministic backend heuristic used when nothing is specified.
+
+    ``REPRO_ENGINE`` (validated) wins if set; otherwise the batched
+    backend, escalating to multiprocess for grids with at least
+    ``2048`` electron points on machines with ≥ 4 cores.
+    """
+    from ..config import default_engine
+
+    if os.environ.get("REPRO_ENGINE", "").strip():
+        return default_engine()
+    if Nkz * NE >= _MULTIPROCESS_MIN_POINTS and (os.cpu_count() or 1) >= 4:
+        return "multiprocess"
+    return "batched"
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Cost estimate from the Table-3 flop models and tensor footprints.
+
+    The per-iteration flop fields are summed over *all* sweep points
+    (each group priced at its own grid size), so heterogeneous plans —
+    e.g. a ``grid`` axis mixing NE values — are priced correctly; the
+    byte fields are the peak single-group tensor footprints.
+    """
+
+    points: int
+    iterations_per_point: int
+    #: one Born iteration at every sweep point (summed across groups)
+    gf_flops_per_iteration: float
+    sse_flops_per_iteration: float
+    #: peak per-group G≷ / D≷ footprint
+    electron_gf_bytes: int
+    phonon_gf_bytes: int
+
+    @property
+    def total_flops(self) -> float:
+        return self.iterations_per_point * (
+            self.gf_flops_per_iteration + self.sse_flops_per_iteration
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "points": self.points,
+            "iterations_per_point": self.iterations_per_point,
+            "gf_flops_per_iteration": self.gf_flops_per_iteration,
+            "sse_flops_per_iteration": self.sse_flops_per_iteration,
+            "electron_gf_bytes": self.electron_gf_bytes,
+            "phonon_gf_bytes": self.phonon_gf_bytes,
+            "total_flops": self.total_flops,
+        }
+
+
+@dataclass(frozen=True)
+class PlanGroup:
+    """Sweep points sharing one simulation (grid + engine + caches).
+
+    ``base_settings`` are the full :class:`~repro.negf.SCBASettings`
+    kwargs of the group; each point carries only the *overrides* of the
+    non-structural fields its sweep coordinates set.
+    """
+
+    key: Tuple
+    base_settings: Dict[str, Any]
+    #: per point: (sweep index, {axis: value}, {settings overrides})
+    points: Tuple[Tuple[int, Dict[str, float], Dict[str, Any]], ...]
+    parameters: SimulationParameters
+
+    def point_settings(self, j: int) -> Dict[str, Any]:
+        """Fully-resolved settings kwargs of the group's j-th point."""
+        kw = dict(self.base_settings)
+        kw.update(self.points[j][2])
+        return kw
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base_settings": dict(self.base_settings),
+            "points": [
+                {"index": i, "coords": dict(c), "overrides": dict(o)}
+                for i, c, o in self.points
+            ],
+            "parameters": self.parameters.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable, inspectable compilation of a workload."""
+
+    workload: Workload
+    engine: str
+    cache_boundary: bool
+    cache_operators: bool
+    ballistic: bool
+    max_workers: Optional[int]
+    groups: Tuple[PlanGroup, ...]
+    cost: PlanCost
+    #: per-group (P, chunk) rank decomposition for the multiprocess engine
+    decomposition: Optional[Tuple[Dict[str, int], ...]] = None
+    #: Fig. 8 → 12 stages the dace SSE variant applies (name, description)
+    sse_recipe: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def n_points(self) -> int:
+        return sum(len(g.points) for g in self.groups)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def session(self):
+        """Open a :class:`~repro.api.Session` executing this plan."""
+        from .session import Session
+
+        return Session(self)
+
+    # -- inspection --------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable compilation report."""
+        w = self.workload
+        lines = [
+            f"plan[{w.name}]: {self.n_points} sweep point(s) in "
+            f"{self.n_groups} group(s), "
+            f"{'ballistic' if self.ballistic else 'SCBA'} transport",
+            f"  device : NA={w.device.NA} atoms, NB={w.device.NB}, "
+            f"Norb={w.device.Norb}, bnum={w.device.bnum}",
+            f"  engine : {self.engine} "
+            f"(cache_boundary={self.cache_boundary}, "
+            f"cache_operators={self.cache_operators})",
+        ]
+        for gi, g in enumerate(self.groups):
+            p = g.parameters
+            lines.append(
+                f"  group {gi}: Nkz={p.Nkz} NE={p.NE} Nqz={p.Nqz} Nw={p.Nw} "
+                f"x {len(g.points)} point(s)"
+            )
+            if self.decomposition is not None:
+                d = self.decomposition[gi]
+                lines.append(
+                    f"    decomposition: P={d['P']} ranks, "
+                    f"E-chunk={d['chunk']}"
+                )
+        c = self.cost
+        lines.append(
+            f"  cost   : ~{c.total_flops:.3e} flop total "
+            f"({c.iterations_per_point} iteration(s)/point; "
+            f"GF {c.gf_flops_per_iteration:.2e} + "
+            f"SSE {c.sse_flops_per_iteration:.2e} per sweep iteration), "
+            f"G≷ {c.electron_gf_bytes / 2**20:.1f} MiB peak"
+        )
+        if self.sse_recipe:
+            lines.append(
+                "  sse    : dace recipe "
+                + " -> ".join(name for name, _ in self.sse_recipe)
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload.to_dict(),
+            "engine": self.engine,
+            "cache_boundary": self.cache_boundary,
+            "cache_operators": self.cache_operators,
+            "ballistic": self.ballistic,
+            "max_workers": self.max_workers,
+            "groups": [g.to_dict() for g in self.groups],
+            "cost": self.cost.to_dict(),
+            "decomposition": (
+                [dict(d) for d in self.decomposition]
+                if self.decomposition is not None
+                else None
+            ),
+            "sse_recipe": [list(s) for s in self.sse_recipe],
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def compile_workload(
+    workload: Workload,
+    engine: Optional[str] = None,
+    cache_boundary: bool = True,
+    cache_operators: bool = True,
+    max_workers: Optional[int] = None,
+) -> Plan:
+    """Compile a workload: validate, select execution, group for reuse."""
+    points = workload.sweep_points()
+
+    # -- backend selection -----------------------------------------------------
+    if engine is not None:
+        if engine not in EXECUTION_BACKENDS:
+            raise PlanError(
+                f"unknown engine {engine!r}; expected one of {EXECUTION_BACKENDS}"
+            )
+    else:
+        engine = choose_engine(workload.grid.Nkz, workload.grid.NE)
+
+    # -- group sweep points by structural settings ------------------------------
+    dev = workload.device
+    grouped: Dict[Tuple, List] = {}
+    for pt in points:
+        key = tuple(pt.settings[f] for f in STRUCTURAL_FIELDS)
+        grouped.setdefault(key, []).append(pt)
+
+    groups: List[PlanGroup] = []
+    for key, members in grouped.items():
+        base = dict(members[0].settings)
+        base["engine"] = engine
+        base["cache_boundary"] = cache_boundary
+        base["cache_operators"] = cache_operators
+        base["max_workers"] = max_workers
+        grid_kw = dict(
+            Nkz=base["Nkz"], Nqz=base["Nqz"], NE=base["NE"], Nw=base["Nw"]
+        )
+        try:
+            if workload.parameters is not None:
+                params = validate_parameters(workload.parameters, **grid_kw)
+            else:
+                params = validate_parameters(
+                    NA=dev.NA, NB=dev.NB, Norb=dev.Norb, N3D=3,
+                    bnum=dev.bnum, **grid_kw,
+                )
+        except ValueError as exc:
+            raise PlanError(f"workload {workload.name!r}: {exc}") from exc
+        groups.append(
+            PlanGroup(
+                key=key,
+                base_settings=base,
+                points=tuple(
+                    (
+                        pt.index,
+                        pt.coords,
+                        {
+                            k: v
+                            for k, v in pt.settings.items()
+                            if base.get(k) != v
+                        },
+                    )
+                    for pt in members
+                ),
+                parameters=params,
+            )
+        )
+
+    # -- cost model (every group priced at its own grid size) -------------------
+    iters = 1 if workload.ballistic else workload.physics.max_iterations
+    gf = sse = 0.0
+    el_bytes = ph_bytes = 0
+    for g in groups:
+        fl = iteration_flops(g.parameters)
+        n = len(g.points)
+        gf += n * (fl.contour_integral + fl.rgf)
+        if not workload.ballistic:
+            sse += n * fl.sse_dace
+        el_bytes = max(el_bytes, g.parameters.electron_gf_bytes)
+        ph_bytes = max(ph_bytes, g.parameters.phonon_gf_bytes)
+    cost = PlanCost(
+        points=len(points),
+        iterations_per_point=iters,
+        gf_flops_per_iteration=gf,
+        sse_flops_per_iteration=sse,
+        electron_gf_bytes=el_bytes,
+        phonon_gf_bytes=ph_bytes,
+    )
+
+    # -- decomposition (multiprocess only) --------------------------------------
+    decomposition = None
+    if engine == "multiprocess":
+        workers = max_workers or min(8, os.cpu_count() or 1)
+        decomp = []
+        for g in groups:
+            d = partition_spectral_grid(
+                g.parameters.Nkz, g.parameters.NE, max(workers, g.parameters.Nkz)
+            )
+            decomp.append({"P": d.P, "chunk": d.chunk, "n_chunks": d.n_chunks})
+        decomposition = tuple(decomp)
+
+    # -- SSE transformation recipe ----------------------------------------------
+    sse_recipe: Tuple[Tuple[str, str], ...] = ()
+    if not workload.ballistic and workload.physics.sse_variant == "dace":
+        from ..core.recipe import RECIPE_SUMMARY
+
+        sse_recipe = RECIPE_SUMMARY
+
+    return Plan(
+        workload=workload,
+        engine=engine,
+        cache_boundary=cache_boundary,
+        cache_operators=cache_operators,
+        ballistic=workload.ballistic,
+        max_workers=max_workers,
+        groups=tuple(groups),
+        cost=cost,
+        decomposition=decomposition,
+        sse_recipe=sse_recipe,
+    )

@@ -1,0 +1,328 @@
+"""Session: context-managed execution of a compiled plan.
+
+A :class:`Session` owns every expensive, sweep-invariant resource of a
+planned workload and reuses it across sweep points:
+
+* the :class:`~repro.negf.HamiltonianModel` (synthetic DFT operators)
+  is built once per session;
+* each :class:`~repro.api.PlanGroup` gets one
+  :class:`~repro.negf.SCBASimulation` — hence one
+  :class:`~repro.negf.SpectralGrid` (with its memoized H(kz)/S(kz)/Φ(qz)
+  operator blocks), one execution engine (and its worker pool), and one
+  :class:`~repro.negf.BoundaryCache` — shared by every point of the
+  group, because bias, temperature, and gate never touch the grid, the
+  operators, or the lead self-energies;
+* worker pools are shut down deterministically on ``close()`` /
+  ``with``-exit instead of relying on GC/atexit.
+
+Results come back as structured :class:`RunResult`/:class:`SweepResult`
+objects with JSON export built on :meth:`repro.negf.SCBAResult.to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..negf.scba import SCBAResult, SCBASettings, SCBASimulation
+from .plan import Plan
+from .workload import Workload
+
+__all__ = ["Session", "RunResult", "SweepResult"]
+
+
+@dataclass
+class RunResult:
+    """One sweep point: its coordinates, scalar observables, and result.
+
+    The scalar summary always survives serialization; the full
+    :class:`~repro.negf.SCBAResult` tensors are attached in-memory and
+    included in exports only on request (``include_arrays=True``).
+    """
+
+    index: int
+    coords: Dict[str, float]
+    current_left: float
+    current_right: float
+    iterations: int
+    converged: bool
+    total_dissipation: float
+    elapsed_seconds: float
+    result: Optional[SCBAResult] = None
+
+    @property
+    def total_current_left(self) -> float:
+        return self.current_left
+
+    @property
+    def total_current_right(self) -> float:
+        return self.current_right
+
+    @classmethod
+    def from_scba(
+        cls, index: int, coords: Dict[str, float], res: SCBAResult,
+        elapsed: float, keep_arrays: bool = True,
+    ) -> "RunResult":
+        return cls(
+            index=index,
+            coords=dict(coords),
+            current_left=res.total_current_left,
+            current_right=res.total_current_right,
+            iterations=res.iterations,
+            converged=res.converged,
+            total_dissipation=float(res.dissipation.sum()),
+            elapsed_seconds=elapsed,
+            result=res if keep_arrays else None,
+        )
+
+    def to_dict(self, include_arrays: bool = False) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "index": self.index,
+            "coords": dict(self.coords),
+            "current_left": self.current_left,
+            "current_right": self.current_right,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "total_dissipation": self.total_dissipation,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if include_arrays and self.result is not None:
+            out["result"] = self.result.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunResult":
+        res = d.get("result")
+        return cls(
+            index=d["index"],
+            coords=dict(d["coords"]),
+            current_left=d["current_left"],
+            current_right=d["current_right"],
+            iterations=d["iterations"],
+            converged=d["converged"],
+            total_dissipation=d["total_dissipation"],
+            elapsed_seconds=d.get("elapsed_seconds", 0.0),
+            result=SCBAResult.from_dict(res) if res is not None else None,
+        )
+
+
+@dataclass
+class SweepResult:
+    """All sweep points of one session run, plus reuse accounting."""
+
+    workload: Dict[str, Any]
+    runs: List[RunResult]
+    #: boundary-cache and operator-assembly counters accumulated over the
+    #: whole sweep — the evidence that sweep-invariant work ran once
+    reuse: Dict[str, int] = field(default_factory=dict)
+    engine: str = ""
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __getitem__(self, i: int) -> RunResult:
+        return self.runs[i]
+
+    # -- columnar accessors ------------------------------------------------------
+    def axis(self, name: str) -> np.ndarray:
+        """The swept values of one axis across all runs, in sweep order."""
+        return np.array([r.coords[name] for r in self.runs])
+
+    @property
+    def currents_left(self) -> np.ndarray:
+        return np.array([r.current_left for r in self.runs])
+
+    @property
+    def currents_right(self) -> np.ndarray:
+        return np.array([r.current_right for r in self.runs])
+
+    # -- persistence ------------------------------------------------------------
+    def to_dict(self, include_arrays: bool = False) -> Dict[str, Any]:
+        return {
+            "workload": dict(self.workload),
+            "engine": self.engine,
+            "reuse": dict(self.reuse),
+            "runs": [r.to_dict(include_arrays) for r in self.runs],
+        }
+
+    def to_json(self, include_arrays: bool = False, **kwargs) -> str:
+        return json.dumps(self.to_dict(include_arrays), **kwargs)
+
+    def save(self, path, include_arrays: bool = False) -> None:
+        Path(path).write_text(self.to_json(include_arrays, indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SweepResult":
+        return cls(
+            workload=dict(d["workload"]),
+            runs=[RunResult.from_dict(r) for r in d["runs"]],
+            reuse=dict(d.get("reuse", {})),
+            engine=d.get("engine", ""),
+        )
+
+    @classmethod
+    def load(cls, path) -> "SweepResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class Session:
+    """Run a compiled plan, reusing sweep-invariant state across points.
+
+    Usage::
+
+        plan = scenario("finfet_iv").compile()
+        with Session(plan) as session:
+            sweep = session.run()
+
+    The context manager guarantees worker pools (multiprocess engine) are
+    shut down on exit.  ``Session.from_workload`` compiles and opens in
+    one step.
+    """
+
+    def __init__(self, plan: Plan):
+        self.plan = plan
+        self._model = None
+        self._sims: Dict[int, SCBASimulation] = {}
+        self._closed = False
+        self._final_counters: Optional[Dict[str, int]] = None
+
+    @classmethod
+    def from_workload(cls, workload: Workload, **compile_kwargs) -> "Session":
+        return cls(workload.compile(**compile_kwargs))
+
+    # -- lifetime -----------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut down every engine (worker pools included), idempotently.
+
+        The reuse counters are snapshotted first, so
+        :meth:`reuse_counters` keeps reporting the session's accounting
+        after the ``with`` block ends.
+        """
+        if not self._closed:
+            self._final_counters = self.reuse_counters()
+        for sim in self._sims.values():
+            sim.close()
+        self._sims.clear()
+        self._closed = True
+
+    # -- lazily-built shared state -------------------------------------------------
+    @property
+    def model(self):
+        """The session-wide Hamiltonian model (built on first access)."""
+        if self._model is None:
+            self._model = self.plan.workload.device.build()
+        return self._model
+
+    def simulation(self, group_index: int) -> SCBASimulation:
+        """The (cached) simulation executing one plan group."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if group_index not in self._sims:
+            group = self.plan.groups[group_index]
+            self._sims[group_index] = SCBASimulation(
+                self.model, SCBASettings(**group.base_settings)
+            )
+        return self._sims[group_index]
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, progress=None, keep_arrays: bool = True) -> SweepResult:
+        """Execute every sweep point of the plan, in sweep order.
+
+        ``progress`` is an optional callable receiving each
+        :class:`RunResult` as it completes.  ``keep_arrays=False`` drops
+        each point's full tensor set once its scalar observables are
+        extracted — sweep memory then stays O(1) in the number of points
+        instead of pinning every ``SCBAResult`` until the sweep ends.
+        Numerical results are identical (≤ 1e-10, pinned by
+        ``tests/test_api.py``) to running each point through a fresh
+        ``SCBASimulation`` — the session only removes re-computation of
+        sweep-invariant state.
+        """
+        runs: List[RunResult] = []
+        for gi, group in enumerate(self.plan.groups):
+            for j in range(len(group.points)):
+                rr = self._execute_point(gi, j, keep_arrays)
+                runs.append(rr)
+                if progress is not None:
+                    progress(rr)
+        runs.sort(key=lambda r: r.index)
+        return SweepResult(
+            workload=self.plan.workload.to_dict(),
+            runs=runs,
+            reuse=self.reuse_counters(),
+            engine=self.plan.engine,
+        )
+
+    def run_point(self, index: int, keep_arrays: bool = True) -> RunResult:
+        """Execute a single sweep point by its linear index."""
+        for gi, group in enumerate(self.plan.groups):
+            for j, (idx, _coords, _ov) in enumerate(group.points):
+                if idx == index:
+                    return self._execute_point(gi, j, keep_arrays)
+        raise IndexError(f"no sweep point with index {index}")
+
+    def _execute_point(
+        self, group_index: int, j: int, keep_arrays: bool
+    ) -> RunResult:
+        """Apply one point's settings to the group's simulation and run it."""
+        group = self.plan.groups[group_index]
+        index, coords, _overrides = group.points[j]
+        sim = self.simulation(group_index)
+        for k, v in group.point_settings(j).items():
+            setattr(sim.s, k, v)
+        t0 = time.perf_counter()
+        res = sim.run(ballistic=self.plan.ballistic)
+        elapsed = time.perf_counter() - t0
+        return RunResult.from_scba(
+            index, coords, res, elapsed, keep_arrays=keep_arrays
+        )
+
+    # -- accounting ----------------------------------------------------------------
+    def reuse_counters(self) -> Dict[str, int]:
+        """Aggregated boundary-solve/hit and operator-assembly counters.
+
+        Boundary counters are exact for every backend (the multiprocess
+        engine routes all solves through the parent's shared cache).  The
+        assembly counters cover the parent process only: multiprocess
+        pool workers additionally assemble operators on their own forked
+        model copies (once per momentum per worker), which the parent's
+        ``assembly_counts`` cannot observe.  After :meth:`close` the
+        counters frozen at shutdown are returned.
+        """
+        if self._final_counters is not None:
+            return dict(self._final_counters)
+        out = {
+            "boundary_el_solves": 0,
+            "boundary_el_hits": 0,
+            "boundary_ph_solves": 0,
+            "boundary_ph_hits": 0,
+        }
+        for sim in self._sims.values():
+            cache = sim.engine.boundary
+            out["boundary_el_solves"] += cache.el_solves
+            out["boundary_el_hits"] += cache.el_hits
+            out["boundary_ph_solves"] += cache.ph_solves
+            out["boundary_ph_hits"] += cache.ph_hits
+        if self._model is not None:
+            out.update(
+                {
+                    f"assemblies_{k}": v
+                    for k, v in self._model.assembly_counts.items()
+                }
+            )
+        return out

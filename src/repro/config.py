@@ -16,6 +16,7 @@ __all__ = [
     "PARAMETER_RANGES",
     "EXECUTION_BACKENDS",
     "default_engine",
+    "validate_parameters",
     "SimulationParameters",
     "PAPER_STRUCTURE_4864",
     "PAPER_STRUCTURE_10240",
@@ -45,6 +46,23 @@ def default_engine() -> str:
             f"expected one of {EXECUTION_BACKENDS}"
         )
     return env
+
+def validate_parameters(base=None, **overrides) -> "SimulationParameters":
+    """Construct (or refine) a :class:`SimulationParameters`, with context.
+
+    ``base`` is an existing parameter set to refine (``overrides`` replace
+    individual fields); without it a fresh set is built from ``overrides``
+    alone.  Any Table-1 range violation re-raises as a :class:`ValueError`
+    prefixed with the offending configuration, which the ``repro.api``
+    planner surfaces as a :class:`~repro.api.PlanError`.
+    """
+    try:
+        if base is not None:
+            return base.replace(**overrides)
+        return SimulationParameters(**overrides)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid simulation parameters: {exc}") from exc
+
 
 #: Valid ranges from Table 1 (inclusive).  ``NA`` is structure-dependent.
 PARAMETER_RANGES: Dict[str, Tuple[int, int]] = {

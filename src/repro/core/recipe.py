@@ -44,7 +44,30 @@ from ..sdfg.transformations import (
 from ..sdfg.transformations.redundancy import RedundantComputationRemoval
 from .sse_sdfg import build_sse_sigma_sdfg, find_map_entry, sse_sigma_reference
 
-__all__ = ["Stage", "build_stages", "verify_stage", "run_stage"]
+__all__ = [
+    "Stage",
+    "RECIPE_SUMMARY",
+    "build_stages",
+    "verify_stage",
+    "run_stage",
+]
+
+#: The recipe's (stage name, description) table — the single source used
+#: by :func:`build_stages` snapshots and by ``repro.api.Plan`` to report
+#: which SSE transformations a planned ``sse_variant="dace"`` run applies.
+RECIPE_SUMMARY: Tuple[Tuple[str, str], ...] = (
+    ("fig8", "initial Σ≷ dataflow"),
+    ("fig9", "Map Fission: one map per computation, expanded transients"),
+    ("fig10b", "(qz, ω) offsets removed from ∇HG≷ producer"),
+    ("fig10c", "contiguous (kz, E) layout for G≷, Σ≷ and transients"),
+    ("fig10d", "Nkz*NE small multiplications fused into one GEMM"),
+    ("fig11c", "ω accumulation substituted by a windowed GEMM"),
+    ("fig12a", "(a, b) hoisted to outer maps"),
+    ("fig12", "three scopes fused into a single (a, b) map"),
+    ("fig12s", "transients shrunk to per-(a, b) blocks"),
+)
+
+_RECIPE_DESCRIPTIONS = dict(RECIPE_SUMMARY)
 
 _G_PERM = (2, 0, 1, 3, 4)
 _SIGMA_PERM = (2, 0, 1, 3, 4)
@@ -96,25 +119,31 @@ def build_stages() -> List[Stage]:
     layout: Dict[str, Tuple[int, ...]] = {}
     out_perm: Optional[Tuple[int, ...]] = None
 
-    def snap(name: str, desc: str):
+    def snap(name: str):
         stages.append(
-            Stage(name, desc, copy.deepcopy(sd), dict(layout), out_perm)
+            Stage(
+                name,
+                _RECIPE_DESCRIPTIONS[name],
+                copy.deepcopy(sd),
+                dict(layout),
+                out_perm,
+            )
         )
 
-    snap("fig8", "initial Σ≷ dataflow")
+    snap("fig8")
     st = sd.states[0]
 
     # -- Fig. 9: Map Fission ------------------------------------------------
     MapFission(
         find_map_entry(st, "sse"), reduce={"dHD": ["j"]}
     ).apply_checked(sd, st)
-    snap("fig9", "Map Fission: one map per computation, expanded transients")
+    snap("fig9")
 
     # -- Fig. 10b: redundancy removal ----------------------------------------
     RedundantComputationRemoval(
         find_map_entry(st, "dHG_mult"), "dHG", ["qz", "w"]
     ).apply_checked(sd, st)
-    snap("fig10b", "(qz, ω) offsets removed from ∇HG≷ producer")
+    snap("fig10b")
 
     # -- Fig. 10c: data layout -----------------------------------------------
     DataLayoutTransformation("G", _G_PERM).apply_checked(sd, st)
@@ -123,7 +152,7 @@ def build_stages() -> List[Stage]:
     DataLayoutTransformation("dHD", _TENSOR_PERM).apply_checked(sd, st)
     layout = {"G": _G_PERM}
     out_perm = _SIGMA_PERM
-    snap("fig10c", "contiguous (kz, E) layout for G≷, Σ≷ and transients")
+    snap("fig10c")
 
     # -- Fig. 10d: multiplication fusion (batched GEMM over kz, E) -----------
     f = IndirectAccess("__neigh__", (a, b))
@@ -151,7 +180,7 @@ def build_stages() -> List[Stage]:
             )
         },
     ).apply_checked(sd, st)
-    snap("fig10d", "Nkz*NE small multiplications fused into one GEMM")
+    snap("fig10d")
 
     # -- Fig. 11: ω-accumulation as GEMM ---------------------------------------
     t3b = Tasklet(
@@ -185,12 +214,12 @@ def build_stages() -> List[Stage]:
             )
         },
     ).apply_checked(sd, st)
-    snap("fig11c", "ω accumulation substituted by a windowed GEMM")
+    snap("fig11c")
 
     # -- §4.2: hoist (a, b) and fuse -------------------------------------------
     for label in ("dHG_mult", "dHD_scale", "sigma_acc"):
         MapExpansion(find_map_entry(st, label), ["a", "b"]).apply_checked(sd, st)
-    snap("fig12a", "(a, b) hoisted to outer maps")
+    snap("fig12a")
 
     MapFusion(
         [
@@ -200,11 +229,11 @@ def build_stages() -> List[Stage]:
         ],
         label="sse_fused",
     ).apply_checked(sd, st)
-    snap("fig12", "three scopes fused into a single (a, b) map")
+    snap("fig12")
 
     ArrayShrink("dHG", [0, 1], ["a", "b"]).apply_checked(sd, st)
     ArrayShrink("dHD", [0, 1], ["a", "b"]).apply_checked(sd, st)
-    snap("fig12s", "transients shrunk to per-(a, b) blocks")
+    snap("fig12s")
 
     return stages
 

@@ -26,7 +26,15 @@ from .rgf import (
     rgf_solve,
     rgf_solve_batched,
 )
-from .scba import SCBAResult, SCBASettings, SCBASimulation, bose, fermi
+from .scba import (
+    SCBAResult,
+    SCBASettings,
+    SCBASimulation,
+    bose,
+    decode_array,
+    encode_array,
+    fermi,
+)
 from .sparse_kernels import METHODS, generate_rgf_operands, three_matrix_product
 from .sse import (
     pi_sse,
@@ -64,6 +72,8 @@ __all__ = [
     "SCBASettings",
     "SCBASimulation",
     "bose",
+    "decode_array",
+    "encode_array",
     "fermi",
     "METHODS",
     "generate_rgf_operands",

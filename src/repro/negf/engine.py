@@ -10,7 +10,10 @@ the iteration-invariant boundary self-energies on every Born iteration.
 This module turns that sweep into an explicit execution layer:
 
 * :class:`SpectralGrid` — the grid/geometry context (energies, momenta,
-  frequencies, atom→block scatter maps) shared by every backend;
+  frequencies, atom→block scatter maps) shared by every backend; it also
+  memoizes the assembled ``H(kz)/S(kz)/Φ(qz)`` operator blocks, which
+  depend only on the structure and momentum — one assembly per momentum
+  point serves every Born iteration and every sweep point;
 * :class:`BoundaryCache` — memoizes the lead self-energies across SCBA
   iterations (they depend only on the grid point, never on the
   iteration) and exposes solve/hit counters;
@@ -29,6 +32,10 @@ This module turns that sweep into an explicit execution layer:
 Backends are selected with ``SCBASettings.engine`` (default from
 :func:`repro.config.default_engine`, overridable via ``REPRO_ENGINE``);
 ``tests/test_engine.py`` pins batched == serial to 1e-10.
+
+Every engine is a context manager: ``close()`` releases backend
+resources deterministically (the multiprocess worker pool in
+particular), instead of relying on GC/atexit.
 """
 
 from __future__ import annotations
@@ -100,6 +107,40 @@ class SpectralGrid:
         self.omegas = (np.arange(settings.Nw) + 1) * self.dE
         self.rev = dev.reverse_neighbor()
         self.atom_slices = self._build_atom_slices()
+        self._el_ops: Dict[int, Tuple] = {}
+        self._ph_ops: Dict[int, object] = {}
+
+    # -- assembled operators ---------------------------------------------------
+    def electron_operators(self, ik: int):
+        """Assembled ``(H(kz), S(kz))`` for ``kz_grid[ik]``, memoized.
+
+        The operators depend only on the structure and the momentum —
+        never on bias, temperature, or the Born iteration — so one
+        assembly serves every solve and every sweep point routed through
+        this grid.  ``SCBASettings.cache_operators=False`` restores the
+        per-solve reassembly of the seed (benchmarks only).
+        """
+        if not getattr(self.s, "cache_operators", True):
+            kz = self.kz_grid[ik]
+            return (
+                self.model.hamiltonian_blocks(kz),
+                self.model.overlap_blocks(kz),
+            )
+        if ik not in self._el_ops:
+            kz = self.kz_grid[ik]
+            self._el_ops[ik] = (
+                self.model.hamiltonian_blocks(kz),
+                self.model.overlap_blocks(kz),
+            )
+        return self._el_ops[ik]
+
+    def phonon_operators(self, iq: int):
+        """Assembled ``Φ(qz)`` for ``qz_grid[iq]``, memoized as above."""
+        if not getattr(self.s, "cache_operators", True):
+            return self.model.dynamical_blocks(self.qz_grid[iq])
+        if iq not in self._ph_ops:
+            self._ph_ops[iq] = self.model.dynamical_blocks(self.qz_grid[iq])
+        return self._ph_ops[iq]
 
     def _build_atom_slices(self) -> List[Tuple[int, slice, slice]]:
         """Per atom: (block index, orbital slice in block, N3D slice)."""
@@ -295,6 +336,17 @@ class GridEngine:
         """RGF over the (qz, ω) grid -> (Dl, Dg) bond tensors."""
         raise NotImplementedError
 
+    # -- lifetime --------------------------------------------------------------
+    def close(self):
+        """Release backend resources (no-op for in-process backends)."""
+
+    def __enter__(self) -> "GridEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     # -- result allocation -----------------------------------------------------
     def _alloc_electrons(self):
         g, s = self.grid, self.grid.s
@@ -328,9 +380,8 @@ class SerialEngine(GridEngine):
     def solve_electrons(self, sigma_r, sigma_l, sigma_g):
         g = self.grid
         Gl, Gg, I_L, I_R = self._alloc_electrons()
-        for ik, kz in enumerate(g.kz_grid):
-            H = g.model.hamiltonian_blocks(kz)
-            S = g.model.overlap_blocks(kz)
+        for ik in range(len(g.kz_grid)):
+            H, S = g.electron_operators(ik)
             for iE, E in enumerate(g.energies):
                 diag, upper, sless, extras = self._electron_system(
                     H, S, E, ik, iE, sigma_r, sigma_l, sigma_g
@@ -392,8 +443,8 @@ class SerialEngine(GridEngine):
         g, s = self.grid, self.grid.s
         Dl, Dg = self._alloc_phonons()
         dev = g.model.structure
-        for iq, qz in enumerate(g.qz_grid):
-            Phi = g.model.dynamical_blocks(qz)
+        for iq in range(len(g.qz_grid)):
+            Phi = g.phonon_operators(iq)
             for iw, w in enumerate(g.omegas):
                 z = (w + 1j * s.eta) ** 2
                 diag = [z * np.eye(b.shape[0]) - b for b in Phi.diag]
@@ -462,15 +513,15 @@ class BatchedEngine(GridEngine):
         g, s = self.grid, self.grid.s
         Gl, Gg, I_L, I_R = self._alloc_electrons()
         e_idx = np.arange(s.NE)
-        for ik, kz in enumerate(g.kz_grid):
+        for ik in range(len(g.kz_grid)):
             sr = None if sigma_r is None else sigma_r[ik]
-            sl = None if sigma_r is None else sigma_l[ik]
+            sl = None if sigma_l is None else sigma_l[ik]
             Gl[ik], Gg[ik], I_L[ik], I_R[ik] = self.electron_row(
-                ik, kz, e_idx, sr, sl
+                ik, e_idx, sr, sl
             )
         return Gl, Gg, I_L, I_R
 
-    def electron_row(self, ik, kz, e_idx, sigma_r_row, sigma_l_row,
+    def electron_row(self, ik, e_idx, sigma_r_row, sigma_l_row,
                      boundary_row=None):
         """Solve the stacked electron systems of one kz / energy subset.
 
@@ -483,8 +534,7 @@ class BatchedEngine(GridEngine):
         g, s = self.grid, self.grid.s
         e_idx = np.asarray(e_idx)
         E = g.energies[e_idx]
-        H = g.model.hamiltonian_blocks(kz)
-        S = g.model.overlap_blocks(kz)
+        H, S = g.electron_operators(ik)
 
         zE = (E + 1j * s.eta)[:, None, None]
         diag = [zE * sv[None] - h[None] for h, sv in zip(H.diag, S.diag)]
@@ -537,13 +587,13 @@ class BatchedEngine(GridEngine):
         g, s = self.grid, self.grid.s
         Dl, Dg = self._alloc_phonons()
         w_idx = np.arange(s.Nw)
-        for iq, qz in enumerate(g.qz_grid):
+        for iq in range(len(g.qz_grid)):
             pr = None if pi_r is None else pi_r[iq]
-            pl = None if pi_r is None else pi_l[iq]
-            Dl[iq], Dg[iq] = self.phonon_row(iq, qz, w_idx, pr, pl)
+            pl = None if pi_l is None else pi_l[iq]
+            Dl[iq], Dg[iq] = self.phonon_row(iq, w_idx, pr, pl)
         return Dl, Dg
 
-    def phonon_row(self, iq, qz, w_idx, pi_r_row, pi_l_row,
+    def phonon_row(self, iq, w_idx, pi_r_row, pi_l_row,
                    boundary_row=None):
         """Solve the stacked phonon systems of one qz / frequency subset.
 
@@ -554,7 +604,7 @@ class BatchedEngine(GridEngine):
         g, s = self.grid, self.grid.s
         w_idx = np.asarray(w_idx)
         w = g.omegas[w_idx]
-        Phi = g.model.dynamical_blocks(qz)
+        Phi = g.phonon_operators(iq)
         dev = g.model.structure
 
         z = ((w + 1j * s.eta) ** 2)[:, None, None]
@@ -617,15 +667,31 @@ def _engine_worker_init(model, settings):
     _WORKER_ENGINE = BatchedEngine(SpectralGrid(model, settings))
 
 
-def _worker_electron_row(ik, kz, e_idx, sigma_r_row, sigma_l_row, boundary_row):
+def _worker_sync_settings(state: Dict):
+    """Refresh the worker's settings from the parent's current values.
+
+    Pool workers pickle the settings object once at pool creation; a
+    sweep (``repro.api.Session``) mutates bias/temperature fields on the
+    parent's settings between points, so every task ships the current
+    field values along.  Only same-grid (non-structural) fields ever
+    change while a pool lives, hence plain setattr is sufficient.
+    """
+    for k, v in state.items():
+        setattr(_WORKER_ENGINE.grid.s, k, v)
+
+
+def _worker_electron_row(state, ik, e_idx, sigma_r_row, sigma_l_row,
+                         boundary_row):
+    _worker_sync_settings(state)
     return _WORKER_ENGINE.electron_row(
-        ik, kz, e_idx, sigma_r_row, sigma_l_row, boundary_row
+        ik, e_idx, sigma_r_row, sigma_l_row, boundary_row
     )
 
 
-def _worker_phonon_row(iq, qz, w_idx, pi_r_row, pi_l_row, boundary_row):
+def _worker_phonon_row(state, iq, w_idx, pi_r_row, pi_l_row, boundary_row):
+    _worker_sync_settings(state)
     return _WORKER_ENGINE.phonon_row(
-        iq, qz, w_idx, pi_r_row, pi_l_row, boundary_row
+        iq, w_idx, pi_r_row, pi_l_row, boundary_row
     )
 
 
@@ -654,7 +720,11 @@ class MultiprocessEngine(BatchedEngine):
     def __init__(self, grid: SpectralGrid, max_workers: Optional[int] = None):
         super().__init__(grid)
         s = grid.s
-        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.max_workers = (
+            max_workers
+            or getattr(s, "max_workers", None)
+            or min(8, os.cpu_count() or 1)
+        )
         self.el_decomp: OmenDecomposition = partition_spectral_grid(
             s.Nkz, s.NE, max(self.max_workers, s.Nkz)
         )
@@ -700,12 +770,10 @@ class MultiprocessEngine(BatchedEngine):
         # the first Born iteration only) and travel with the work; the
         # operator blocks are only assembled while the cache is cold.
         boundary_rows = {}
-        for ik, kz in enumerate(g.kz_grid):
+        for ik in range(len(g.kz_grid)):
             boundary_rows[ik] = self.boundary.electron_row_lazy(
                 ik, all_idx, g.energies,
-                lambda kz=kz: (
-                    g.model.hamiltonian_blocks(kz), g.model.overlap_blocks(kz)
-                ),
+                lambda ik=ik: g.electron_operators(ik),
             )
 
         tasks = []  # (rank, ik, esl) bookkeeping per rank batch
@@ -714,14 +782,14 @@ class MultiprocessEngine(BatchedEngine):
             ik, _ = d.coords(rank)
             esl = d.energy_slice(rank)
             sr = None if sigma_r is None else sigma_r[ik, esl]
-            sl = None if sigma_r is None else sigma_l[ik, esl]
+            sl = None if sigma_l is None else sigma_l[ik, esl]
             bnd = (boundary_rows[ik][0][esl], boundary_rows[ik][1][esl])
             # Scatter metering: root ships boundary + Σ slices to the rank.
             for arr in (bnd[0], bnd[1], sr, sl):
                 if arr is not None:
                     self.comm.sendrecv(0, rank, arr)
             tasks.append((rank, ik, esl))
-            worker_args.append((ik, g.kz_grid[ik], all_idx[esl], sr, sl, bnd))
+            worker_args.append((ik, all_idx[esl], sr, sl, bnd))
 
         results = self._run_tasks(
             _worker_electron_row,
@@ -746,10 +814,10 @@ class MultiprocessEngine(BatchedEngine):
         all_idx = np.arange(s.Nw)
 
         boundary_rows = {}
-        for iq, qz in enumerate(g.qz_grid):
+        for iq in range(len(g.qz_grid)):
             boundary_rows[iq] = self.boundary.phonon_row_lazy(
                 iq, all_idx, g.omegas,
-                lambda qz=qz: g.model.dynamical_blocks(qz),
+                lambda iq=iq: g.phonon_operators(iq),
             )
 
         tasks = []
@@ -758,13 +826,13 @@ class MultiprocessEngine(BatchedEngine):
             iq, _ = d.coords(rank)
             wsl = d.energy_slice(rank)
             pr = None if pi_r is None else pi_r[iq, wsl]
-            pl = None if pi_r is None else pi_l[iq, wsl]
+            pl = None if pi_l is None else pi_l[iq, wsl]
             bnd = (boundary_rows[iq][0][wsl], boundary_rows[iq][1][wsl])
             for arr in (bnd[0], bnd[1], pr, pl):
                 if arr is not None:
                     self.comm.sendrecv(0, rank, arr)
             tasks.append((rank, iq, wsl))
-            worker_args.append((iq, g.qz_grid[iq], all_idx[wsl], pr, pl, bnd))
+            worker_args.append((iq, all_idx[wsl], pr, pl, bnd))
 
         results = self._run_tasks(
             _worker_phonon_row,
@@ -788,14 +856,20 @@ class MultiprocessEngine(BatchedEngine):
     def _run_tasks(self, worker_fn, arg_lists, inline_fn):
         """Submit all rank batches to the pool.
 
-        Only pool-infrastructure failures (the pool cannot start or its
+        Each task carries the parent's *current* settings values (see
+        :func:`_worker_sync_settings`) so sweep-mutated fields (bias,
+        temperatures) reach the long-lived workers.  Only
+        pool-infrastructure failures (the pool cannot start or its
         workers died) degrade to in-process batched rows; genuine
         computation errors raised inside a worker propagate unchanged.
         A broken pool is dropped so later sweeps retry with a fresh one.
         """
+        state = dict(vars(self.grid.s))
         try:
             pool = self._ensure_pool()
-            futures = [pool.submit(worker_fn, *args) for args in arg_lists]
+            futures = [
+                pool.submit(worker_fn, state, *args) for args in arg_lists
+            ]
         except (OSError, PicklingError, mp.ProcessError, BrokenProcessPool):
             self._reset_pool()
             return [inline_fn(args) for args in arg_lists]

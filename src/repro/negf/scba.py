@@ -14,6 +14,12 @@ reference loop), ``batched`` (stacked tensor systems, the default), or
 :attr:`SCBASettings.engine`.  All backends memoize the iteration-invariant
 lead self-energies across Born iterations.
 
+This module is the per-point executor; the public entry point for new
+scenarios is the :mod:`repro.api` facade (Workload → Plan → Session),
+which reuses the model, grid, and boundary cache across whole sweeps and
+owns engine lifetimes.  ``SCBASettings``/``SCBASimulation`` remain as
+thin shims (see :meth:`SCBASimulation.from_workload`).
+
 Physical conventions (dimensionless units, ħ = e = 1):
 
 * electron boundary occupation: Fermi-Dirac with per-lead chemical
@@ -28,8 +34,8 @@ Physical conventions (dimensionless units, ħ = e = 1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Literal, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Literal, Optional
 
 import numpy as np
 
@@ -38,7 +44,15 @@ from .engine import SpectralGrid, bose, fermi, make_engine
 from .hamiltonian import HamiltonianModel
 from .sse import pi_sse, preprocess_phonon_green, retarded_from_lesser_greater, sigma_sse
 
-__all__ = ["SCBASettings", "SCBAResult", "SCBASimulation", "fermi", "bose"]
+__all__ = [
+    "SCBASettings",
+    "SCBAResult",
+    "SCBASimulation",
+    "fermi",
+    "bose",
+    "encode_array",
+    "decode_array",
+]
 
 
 @dataclass
@@ -75,6 +89,11 @@ class SCBASettings:
     #: memoize lead self-energies across Born iterations; ``False``
     #: restores the seed's per-iteration recomputation (benchmarks only)
     cache_boundary: bool = True
+    #: memoize the assembled H(kz)/S(kz)/Φ(qz) operator blocks per
+    #: momentum point; ``False`` restores per-solve reassembly
+    cache_operators: bool = True
+    #: worker-pool size cap for the multiprocess engine (None: min(8, cores))
+    max_workers: Optional[int] = None
 
 
 @dataclass
@@ -108,6 +127,56 @@ class SCBAResult:
     def total_current_right(self) -> float:
         return float(np.sum(self.current_right))
 
+    # -- persistence ------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict: every tensor field array-encoded, scalars plain.
+
+        Round-trips exactly through :meth:`from_dict` (complex tensors are
+        stored as separate real/imag lists), so converged results can be
+        persisted and compared across runs; ``repro.api.SweepResult``
+        reuses this encoding for its JSON export.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            out[f.name] = encode_array(v) if isinstance(v, np.ndarray) else v
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SCBAResult":
+        kwargs = {}
+        for f in fields(cls):
+            v = d[f.name]
+            kwargs[f.name] = (
+                decode_array(v) if isinstance(v, dict) and "shape" in v else v
+            )
+        return cls(**kwargs)
+
+
+def encode_array(a: np.ndarray) -> Dict[str, Any]:
+    """Encode an ndarray as a JSON-safe dict (complex -> real/imag lists)."""
+    a = np.asarray(a)
+    enc: Dict[str, Any] = {"dtype": str(a.dtype), "shape": list(a.shape)}
+    if np.iscomplexobj(a):
+        enc["real"] = a.real.ravel().tolist()
+        enc["imag"] = a.imag.ravel().tolist()
+    else:
+        enc["data"] = a.ravel().tolist()
+    return enc
+
+
+def decode_array(enc: Dict[str, Any]) -> np.ndarray:
+    """Invert :func:`encode_array` (exact bit pattern for float64 data)."""
+    shape = tuple(enc["shape"])
+    dtype = np.dtype(enc["dtype"])
+    if "real" in enc:
+        a = np.asarray(enc["real"], dtype=float) + 1j * np.asarray(
+            enc["imag"], dtype=float
+        )
+    else:
+        a = np.asarray(enc["data"], dtype=float)
+    return a.reshape(shape).astype(dtype)
+
 
 class SCBASimulation:
     """Dissipative quantum transport on a synthetic device.
@@ -130,6 +199,41 @@ class SCBASimulation:
         self.omegas = g.omegas
         self.rev = g.rev
         self._atom_slices = g.atom_slices
+        #: what ``run()`` does when ``ballistic`` is not passed; set from
+        #: the workload's ``PhysicsSpec.transport`` by :meth:`from_workload`
+        self.default_ballistic = False
+
+    # -- lifetime -----------------------------------------------------------------
+    def close(self):
+        """Release engine resources (worker pools) deterministically."""
+        self.engine.close()
+
+    def __enter__(self) -> "SCBASimulation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @classmethod
+    def from_workload(cls, workload) -> "SCBASimulation":
+        """Legacy shim: one simulation for a sweep-free ``repro.api.Workload``.
+
+        Sweeps must go through :class:`repro.api.Session`, which reuses the
+        Hamiltonian, spectral grid, and boundary cache across points.
+        """
+        from ..api import compile_workload  # api layers on top of negf
+
+        plan = compile_workload(workload)
+        if plan.n_points != 1:
+            raise ValueError(
+                f"workload has {plan.n_points} sweep points; "
+                "use repro.api.Session for sweeps"
+            )
+        model = workload.device.build()
+        sim = cls(model, SCBASettings(**plan.groups[0].point_settings(0)))
+        sim.default_ballistic = plan.ballistic
+        return sim
 
     # -- GF phases (delegated to the execution engine) ---------------------------
     def solve_electrons(
@@ -206,8 +310,15 @@ class SCBASimulation:
         )
 
     # -- driver ------------------------------------------------------------------
-    def run(self, ballistic: bool = False) -> SCBAResult:
-        """Iterate GF ⇄ SSE to self-consistency (Fig. 2)."""
+    def run(self, ballistic: Optional[bool] = None) -> SCBAResult:
+        """Iterate GF ⇄ SSE to self-consistency (Fig. 2).
+
+        ``ballistic=None`` follows :attr:`default_ballistic` (False unless
+        the simulation came from a ballistic workload); passing a bool
+        overrides it explicitly.
+        """
+        if ballistic is None:
+            ballistic = self.default_ballistic
         s = self.s
         Sl = Sg = Sr = None
         Pl = Pg = Pr = None

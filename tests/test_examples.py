@@ -50,9 +50,23 @@ def test_communication_planning_example():
     out = _run("communication_planning.py")
     assert "optimal tiling" in out
     assert "Min(Nkz" in out or "skz" in out
+    # The workload now enters through the facade: the compiled plan of
+    # the paper_4864 scenario is printed before the machine planning.
+    assert "plan[paper_4864]" in out
+    assert "NA=4864" in out
+
+
+def test_finfet_iv_example():
+    out = _run("finfet_iv_curve.py")
+    assert "plan[finfet_iv]" in out
+    assert "ballistic transport sane" in out
+    # Sweep-level reuse: boundary solves reported once per grid point.
+    assert "boundary solves: 120 (= 2 x Nkz x NE = 120)" in out
 
 
 @pytest.mark.slow
 def test_quickstart_example():
     out = _run("quickstart.py", timeout=400)
     assert "dissipative: converged=True" in out
+    assert "plan[quickstart]" in out
+    assert "max dev vs serial" in out
