@@ -15,8 +15,11 @@ lives, apart from the physics: compiling a :class:`~repro.api.Workload`
   never invalidate them),
 * estimates cost with :mod:`repro.model.performance` (Table-3 flop
   models) and tensor footprints,
-* records, for ``sse_variant="dace"``, the Fig. 8 → 12 transformation
-  recipe the SSE phase applies.
+* models, for ``sse_variant="dace"``, the per-stage data movement of the
+  Fig. 8 → 12 transformation pipeline at the *planned* dimensions
+  (:func:`repro.core.recipe.sse_movement_report`, the paper's §4.1
+  metric) — the recipe enters the plan as a measured
+  :class:`~repro.sdfg.PipelineReport`, not as a static table.
 
 A plan is inspectable (:meth:`Plan.describe`) and serializable
 (:meth:`Plan.to_json`), so execution choices can be reviewed, diffed, and
@@ -33,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..config import EXECUTION_BACKENDS, SimulationParameters, validate_parameters
 from ..model.performance import iteration_flops
 from ..parallel.decomposition import partition_spectral_grid
+from ..sdfg.pipeline import PipelineReport
 from .workload import Workload
 
 __all__ = [
@@ -168,8 +172,18 @@ class Plan:
     cost: PlanCost
     #: per-group (P, chunk) rank decomposition for the multiprocess engine
     decomposition: Optional[Tuple[Dict[str, int], ...]] = None
-    #: Fig. 8 → 12 stages the dace SSE variant applies (name, description)
-    sse_recipe: Tuple[Tuple[str, str], ...] = ()
+    #: per-stage modeled data movement of the Fig. 8 → 12 dace SSE
+    #: pipeline, evaluated at the planned (peak-group) dimensions
+    sse_report: Optional[PipelineReport] = None
+
+    @property
+    def sse_recipe(self) -> Tuple[Tuple[str, str], ...]:
+        """(stage, description) table, derived from the movement report."""
+        if self.sse_report is None:
+            return ()
+        return tuple(
+            (s.name, s.description) for s in self.sse_report.stages
+        )
 
     @property
     def n_points(self) -> int:
@@ -219,10 +233,26 @@ class Plan:
             f"SSE {c.sse_flops_per_iteration:.2e} per sweep iteration), "
             f"G≷ {c.electron_gf_bytes / 2**20:.1f} MiB peak"
         )
-        if self.sse_recipe:
+        if self.sse_report is not None:
+            from ..sdfg.pipeline import format_bytes
+
+            r = self.sse_report
+            d = r.dims
             lines.append(
-                "  sse    : dace recipe "
-                + " -> ".join(name for name, _ in self.sse_recipe)
+                f"  sse    : dace recipe, movement modeled at "
+                f"Nkz={d['Nkz']} NE={d['NE']} Nqz={d['Nqz']} Nw={d['Nw']} "
+                f"NA={d['NA']}"
+            )
+            first = r.stages[0].total_bytes
+            for s in r.stages:
+                lines.append(
+                    f"    {s.name:8s} {format_bytes(s.total_bytes):>12s} moved "
+                    f"({first / max(s.total_bytes, 1):6.1f}x less)  "
+                    f"{s.description}"
+                )
+            lines.append(
+                f"    net    : {r.total_reduction:.1f}x less data movement "
+                f"({r.stages[0].name} -> {r.stages[-1].name})"
             )
         return "\n".join(lines)
 
@@ -242,6 +272,11 @@ class Plan:
                 else None
             ),
             "sse_recipe": [list(s) for s in self.sse_recipe],
+            "sse_movement": (
+                self.sse_report.to_dict()
+                if self.sse_report is not None
+                else None
+            ),
         }
 
     def to_json(self, **kwargs) -> str:
@@ -347,12 +382,21 @@ def compile_workload(
             decomp.append({"P": d.P, "chunk": d.chunk, "n_chunks": d.n_chunks})
         decomposition = tuple(decomp)
 
-    # -- SSE transformation recipe ----------------------------------------------
-    sse_recipe: Tuple[Tuple[str, str], ...] = ()
+    # -- SSE transformation pipeline, movement modeled at planned dims ----------
+    sse_report: Optional[PipelineReport] = None
     if not workload.ballistic and workload.physics.sse_variant == "dace":
-        from ..core.recipe import RECIPE_SUMMARY
+        from ..core.recipe import sse_movement_report
 
-        sse_recipe = RECIPE_SUMMARY
+        peak = max(
+            (g.parameters for g in groups),
+            key=lambda p: p.Nkz * p.NE * p.Nqz * p.Nw,
+        )
+        sse_report = sse_movement_report(
+            dict(
+                Nkz=peak.Nkz, NE=peak.NE, Nqz=peak.Nqz, Nw=peak.Nw,
+                NA=peak.NA, NB=peak.NB, Norb=peak.Norb, N3D=peak.N3D,
+            )
+        )
 
     return Plan(
         workload=workload,
@@ -364,5 +408,5 @@ def compile_workload(
         groups=tuple(groups),
         cost=cost,
         decomposition=decomposition,
-        sse_recipe=sse_recipe,
+        sse_report=sse_report,
     )

@@ -292,6 +292,58 @@ class Session:
             index, coords, res, elapsed, keep_arrays=keep_arrays
         )
 
+    # -- verification --------------------------------------------------------------
+    def cross_check_sse(
+        self,
+        dims: Optional[Dict[str, int]] = None,
+        seed: int = 0,
+        rtol: float = 1e-10,
+        atol: float = 1e-10,
+    ) -> float:
+        """Cross-check the compiled Fig. 8 → 12 pipeline against the
+        hand-written ``negf/sse.py`` ``dace`` kernel on a small grid.
+
+        The SDFG pipeline treats the energy axis as periodic while the
+        physical kernel zero-pads it; zeroing the top ``Nw - 1`` energy
+        slots of G≷ makes every wrapped contribution vanish, so on such
+        inputs the two conventions are exactly equivalent and the
+        interpreter-executed optimized graph must agree with the
+        production kernel to float tolerance.  Returns the max abs error;
+        raises ``AssertionError`` beyond tolerance.
+        """
+        if self.plan.sse_report is None:
+            raise RuntimeError(
+                "plan has no dace SSE pipeline to cross-check "
+                "(ballistic transport or non-dace sse_variant)"
+            )
+        from ..core.recipe import compile_sse_pipeline
+        from ..core.sse_sdfg import random_sse_inputs
+        from ..negf.sse import sigma_sse
+
+        dims = dict(
+            dims or dict(Nkz=3, NE=6, Nqz=2, Nw=2, N3D=2, NA=5, NB=3, Norb=2)
+        )
+        arrays, tables = random_sse_inputs(dims, seed=seed)
+        if dims["Nw"] > 1:
+            arrays["G"][:, -(dims["Nw"] - 1):] = 0.0
+        compiled = compile_sse_pipeline(verify=False)
+        sigma_graph = compiled(dims, arrays, tables)
+        sigma_kernel = sigma_sse(
+            arrays["G"],
+            arrays["dH"],
+            arrays["D"],
+            tables["__neigh__"],
+            shift_sign=+1,
+            variant="dace",
+        )
+        err = float(np.max(np.abs(sigma_graph - sigma_kernel)))
+        if not np.allclose(sigma_graph, sigma_kernel, rtol=rtol, atol=atol):
+            raise AssertionError(
+                f"compiled SSE pipeline deviates from negf.sse dace "
+                f"kernel: max err {err:.3e}"
+            )
+        return err
+
     # -- accounting ----------------------------------------------------------------
     def reuse_counters(self) -> Dict[str, int]:
         """Aggregated boundary-solve/hit and operator-assembly counters.

@@ -9,7 +9,16 @@
 """
 
 from .distribution import TileFootprint, derive_sse_footprints, footprint_bytes
-from .recipe import Stage, build_stages, run_stage, verify_stage
+from .recipe import (
+    RECIPE_SUMMARY,
+    SSE_PIPELINE,
+    Stage,
+    build_stages,
+    compile_sse_pipeline,
+    run_stage,
+    sse_movement_report,
+    verify_stage,
+)
 from .sse_sdfg import (
     build_sse_sigma_sdfg,
     find_map_entry,
@@ -22,8 +31,12 @@ __all__ = [
     "derive_sse_footprints",
     "footprint_bytes",
     "Stage",
+    "SSE_PIPELINE",
+    "RECIPE_SUMMARY",
     "build_stages",
+    "compile_sse_pipeline",
     "run_stage",
+    "sse_movement_report",
     "verify_stage",
     "build_sse_sigma_sdfg",
     "find_map_entry",

@@ -1,7 +1,20 @@
-"""The paper's SSE transformation recipe (Figs. 8 → 12).
+"""The paper's SSE transformation recipe (Figs. 8 → 12), as a Pipeline.
 
-Applies, in order, the data-centric transformations of §4.2 to the Σ≷
-SDFG, snapshotting the graph after every step:
+The §4.2 sequence of data-centric transformations is declared once, as
+data: :data:`SSE_PIPELINE` is an ordered list of
+:class:`~repro.sdfg.passes.Pass` objects that select their application
+sites through each transformation's ``match()`` pattern enumeration —
+no graph-node or map-label lookups.  Everything else derives from that
+single declaration:
+
+* :data:`RECIPE_SUMMARY` — the (stage, description) table consumed by
+  ``repro.api.Plan``;
+* :func:`build_stages` — per-stage snapshots of the transformed SDFG;
+* :func:`sse_movement_report` — the §4.1 data-movement model, evaluated
+  per stage at concrete dimensions;
+* :func:`compile_sse_pipeline` — an interpreter-backed callable of the
+  final graph, with every stage verified against
+  :func:`~repro.core.sse_sdfg.sse_sigma_reference`.
 
 ========  =====================================  ==============
 Stage     Transformation                         Paper figure
@@ -16,76 +29,56 @@ fig12a    Map Expansion (hoist ``(a, b)``)       §4.2
 fig12     Map Fusion                             Fig. 12
 fig12s    Transient shrinking                    Fig. 12 (final)
 ========  =====================================  ==============
-
-Every stage is independently executable through the SDFG interpreter;
-:func:`verify_stage` checks bit-level agreement (up to float tolerance)
-with the naive reference kernel.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..sdfg import SDFG, IndirectAccess, Memlet, Range, Tasklet, symbols
-from ..sdfg.interpreter import Interpreter
-from ..sdfg.transformations import (
-    ArrayShrink,
-    BatchedOperationSubstitution,
-    DataLayoutTransformation,
-    MapExpansion,
-    MapFission,
-    MapFusion,
-    apply_layout,
+from ..sdfg import (
+    BatchPass,
+    CompiledPipeline,
+    ExpandPass,
+    FissionPass,
+    FusePass,
+    IndirectAccess,
+    Interpreter,
+    LayoutPass,
+    Memlet,
+    Pipeline,
+    PipelineReport,
+    Range,
+    RedundancyPass,
+    ShrinkPass,
+    Stage,
+    Tasklet,
+    neighbor_indirection_hook,
+    symbols,
 )
-from ..sdfg.transformations.redundancy import RedundantComputationRemoval
-from .sse_sdfg import build_sse_sigma_sdfg, find_map_entry, sse_sigma_reference
+from ..sdfg import pipeline as _pipeline_mod
+from .sse_sdfg import build_sse_sigma_sdfg, sse_sigma_reference
 
 __all__ = [
     "Stage",
+    "SSE_PIPELINE",
     "RECIPE_SUMMARY",
     "build_stages",
+    "compile_sse_pipeline",
+    "sse_movement_report",
     "verify_stage",
     "run_stage",
 ]
-
-#: The recipe's (stage name, description) table — the single source used
-#: by :func:`build_stages` snapshots and by ``repro.api.Plan`` to report
-#: which SSE transformations a planned ``sse_variant="dace"`` run applies.
-RECIPE_SUMMARY: Tuple[Tuple[str, str], ...] = (
-    ("fig8", "initial Σ≷ dataflow"),
-    ("fig9", "Map Fission: one map per computation, expanded transients"),
-    ("fig10b", "(qz, ω) offsets removed from ∇HG≷ producer"),
-    ("fig10c", "contiguous (kz, E) layout for G≷, Σ≷ and transients"),
-    ("fig10d", "Nkz*NE small multiplications fused into one GEMM"),
-    ("fig11c", "ω accumulation substituted by a windowed GEMM"),
-    ("fig12a", "(a, b) hoisted to outer maps"),
-    ("fig12", "three scopes fused into a single (a, b) map"),
-    ("fig12s", "transients shrunk to per-(a, b) blocks"),
-)
-
-_RECIPE_DESCRIPTIONS = dict(RECIPE_SUMMARY)
 
 _G_PERM = (2, 0, 1, 3, 4)
 _SIGMA_PERM = (2, 0, 1, 3, 4)
 _TENSOR_PERM = (3, 4, 2, 0, 1, 5, 6)
 
-
-@dataclass
-class Stage:
-    """A snapshot of the SSE SDFG after one transformation step."""
-
-    name: str
-    description: str
-    sdfg: SDFG
-    input_perms: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
-    output_perm: Optional[Tuple[int, ...]] = None
-
-    def __repr__(self) -> str:
-        return f"Stage({self.name}: {self.description})"
+#: toy dimensions used for interpreter-backed stage verification
+VERIFY_DIMS: Dict[str, int] = dict(
+    Nkz=3, NE=4, Nqz=2, Nw=2, N3D=2, NA=5, NB=3, Norb=2
+)
 
 
 def _batched_dhg_code(g, h):
@@ -108,134 +101,195 @@ def _windowed_sigma_flops(gh, hd):
     return 8 * gh.shape[0] * hd.shape[0] * gh.shape[-1] ** 3
 
 
-def build_stages() -> List[Stage]:
-    """Apply the full recipe, returning a snapshot after every step."""
-    Nkz, NE, Nqz, Nw, N3D, NA, NB, Norb = symbols("Nkz NE Nqz Nw N3D NA NB Norb")
+def _sse_passes() -> List:
+    """The Fig. 8 → 12 pass sequence (pure declaration)."""
+    Nkz, NE, Nw = symbols("Nkz NE Nw")
     kz, qz, i, a, b = symbols("kz qz i a b")
+    Norb = symbols("Norb")[0]
     orb = (0, Norb - 1, 1)
-
-    stages: List[Stage] = []
-    sd = build_sse_sigma_sdfg()
-    layout: Dict[str, Tuple[int, ...]] = {}
-    out_perm: Optional[Tuple[int, ...]] = None
-
-    def snap(name: str):
-        stages.append(
-            Stage(
-                name,
-                _RECIPE_DESCRIPTIONS[name],
-                copy.deepcopy(sd),
-                dict(layout),
-                out_perm,
-            )
-        )
-
-    snap("fig8")
-    st = sd.states[0]
-
-    # -- Fig. 9: Map Fission ------------------------------------------------
-    MapFission(
-        find_map_entry(st, "sse"), reduce={"dHD": ["j"]}
-    ).apply_checked(sd, st)
-    snap("fig9")
-
-    # -- Fig. 10b: redundancy removal ----------------------------------------
-    RedundantComputationRemoval(
-        find_map_entry(st, "dHG_mult"), "dHG", ["qz", "w"]
-    ).apply_checked(sd, st)
-    snap("fig10b")
-
-    # -- Fig. 10c: data layout -----------------------------------------------
-    DataLayoutTransformation("G", _G_PERM).apply_checked(sd, st)
-    DataLayoutTransformation("Sigma", _SIGMA_PERM).apply_checked(sd, st)
-    DataLayoutTransformation("dHG", _TENSOR_PERM).apply_checked(sd, st)
-    DataLayoutTransformation("dHD", _TENSOR_PERM).apply_checked(sd, st)
-    layout = {"G": _G_PERM}
-    out_perm = _SIGMA_PERM
-    snap("fig10c")
-
-    # -- Fig. 10d: multiplication fusion (batched GEMM over kz, E) -----------
     f = IndirectAccess("__neigh__", (a, b))
-    t1b = Tasklet(
-        "dHG_gemm",
-        ["g", "h"],
-        ["gh"],
-        _batched_dhg_code,
-        flops=_batched_dhg_flops,
-    )
-    BatchedOperationSubstitution(
-        find_map_entry(st, "dHG_mult"),
-        ["kz", "E"],
-        t1b,
-        in_memlets={
-            "g": Memlet("G", Range([(f, f), (0, Nkz - 1), (0, NE - 1), orb, orb])),
-            "h": Memlet("dH", Range([(a, a), (b, b), (i, i), orb, orb])),
-        },
-        out_memlets={
-            "gh": Memlet(
-                "dHG",
-                Range(
-                    [(a, a), (b, b), (i, i), (0, Nkz - 1), (0, NE - 1), orb, orb]
-                ),
-            )
-        },
-    ).apply_checked(sd, st)
-    snap("fig10d")
 
-    # -- Fig. 11: ω-accumulation as GEMM ---------------------------------------
-    t3b = Tasklet(
-        "sigma_gemm",
-        ["gh", "hd"],
-        ["out"],
-        _windowed_sigma_code,
-        flops=_windowed_sigma_flops,
-    )
-    BatchedOperationSubstitution(
-        find_map_entry(st, "sigma_acc"),
-        ["E", "w"],
-        t3b,
-        in_memlets={
-            "gh": Memlet(
-                "dHG",
-                Range(
-                    [(a, a), (b, b), (i, i), (kz - qz, kz - qz), (0, NE - 1), orb, orb]
-                ),
+    return [
+        FissionPass(
+            "fig9",
+            "Map Fission: one map per computation, expanded transients",
+            reduce={"dHD": ["j"]},
+        ),
+        RedundancyPass(
+            "fig10b",
+            "(qz, ω) offsets removed from ∇HG≷ producer",
+            array="dHG",
+            params=("qz", "w"),
+        ),
+        LayoutPass(
+            "fig10c",
+            "contiguous (kz, E) layout for G≷, Σ≷ and transients",
+            perms={
+                "G": _G_PERM,
+                "Sigma": _SIGMA_PERM,
+                "dHG": _TENSOR_PERM,
+                "dHD": _TENSOR_PERM,
+            },
+        ),
+        BatchPass(
+            "fig10d",
+            "Nkz*NE small multiplications fused into one GEMM",
+            array="dHG",
+            batch_params=("kz", "E"),
+            tasklet=Tasklet(
+                "dHG_gemm",
+                ["g", "h"],
+                ["gh"],
+                _batched_dhg_code,
+                flops=_batched_dhg_flops,
             ),
-            "hd": Memlet(
-                "dHD",
-                Range([(a, a), (b, b), (i, i), (qz, qz), (0, Nw - 1), orb, orb]),
+            in_memlets={
+                "g": Memlet(
+                    "G",
+                    Range([(f, f), (0, Nkz - 1), (0, NE - 1), orb, orb]),
+                ),
+                "h": Memlet(
+                    "dH", Range([(a, a), (b, b), (i, i), orb, orb])
+                ),
+            },
+            out_memlets={
+                "gh": Memlet(
+                    "dHG",
+                    Range(
+                        [
+                            (a, a),
+                            (b, b),
+                            (i, i),
+                            (0, Nkz - 1),
+                            (0, NE - 1),
+                            orb,
+                            orb,
+                        ]
+                    ),
+                )
+            },
+        ),
+        BatchPass(
+            "fig11c",
+            "ω accumulation substituted by a windowed GEMM",
+            array="Sigma",
+            batch_params=("E", "w"),
+            tasklet=Tasklet(
+                "sigma_gemm",
+                ["gh", "hd"],
+                ["out"],
+                _windowed_sigma_code,
+                flops=_windowed_sigma_flops,
             ),
-        },
-        out_memlets={
-            "out": Memlet(
-                "Sigma",
-                Range([(a, a), (kz, kz), (0, NE - 1), orb, orb]),
-                wcr="sum",
-            )
-        },
-    ).apply_checked(sd, st)
-    snap("fig11c")
+            in_memlets={
+                "gh": Memlet(
+                    "dHG",
+                    Range(
+                        [
+                            (a, a),
+                            (b, b),
+                            (i, i),
+                            (kz - qz, kz - qz),
+                            (0, NE - 1),
+                            orb,
+                            orb,
+                        ]
+                    ),
+                ),
+                "hd": Memlet(
+                    "dHD",
+                    Range(
+                        [(a, a), (b, b), (i, i), (qz, qz), (0, Nw - 1), orb, orb]
+                    ),
+                ),
+            },
+            out_memlets={
+                "out": Memlet(
+                    "Sigma",
+                    Range([(a, a), (kz, kz), (0, NE - 1), orb, orb]),
+                    wcr="sum",
+                )
+            },
+        ),
+        ExpandPass(
+            "fig12a", "(a, b) hoisted to outer maps", outer=("a", "b")
+        ),
+        FusePass(
+            "fig12",
+            "three scopes fused into a single (a, b) map",
+            label="sse_fused",
+            params=("a", "b"),
+        ),
+        ShrinkPass(
+            "fig12s",
+            "transients shrunk to per-(a, b) blocks",
+            arrays=("dHG", "dHD"),
+            params=("a", "b"),
+        ),
+    ]
 
-    # -- §4.2: hoist (a, b) and fuse -------------------------------------------
-    for label in ("dHG_mult", "dHD_scale", "sigma_acc"):
-        MapExpansion(find_map_entry(st, label), ["a", "b"]).apply_checked(sd, st)
-    snap("fig12a")
 
-    MapFusion(
-        [
-            find_map_entry(st, "dHG_mult", top_level=True),
-            find_map_entry(st, "dHD_scale", top_level=True),
-            find_map_entry(st, "sigma_acc", top_level=True),
-        ],
-        label="sse_fused",
-    ).apply_checked(sd, st)
-    snap("fig12")
+def _sse_hooks():
+    NA, NB = symbols("NA NB")
+    return [neighbor_indirection_hook(NA, NB)]
 
-    ArrayShrink("dHG", [0, 1], ["a", "b"]).apply_checked(sd, st)
-    ArrayShrink("dHD", [0, 1], ["a", "b"]).apply_checked(sd, st)
-    snap("fig12s")
 
-    return stages
+def _sse_reference(arrays, tables):
+    return sse_sigma_reference(
+        arrays["G"], arrays["dH"], arrays["D"], tables["__neigh__"]
+    )
+
+
+def _sse_inputs(dims, seed: int = 0):
+    from .sse_sdfg import random_sse_inputs
+
+    return random_sse_inputs(dims, seed=seed)
+
+
+#: The Fig. 8 → 12 recipe — THE single declaration everything derives from.
+SSE_PIPELINE = Pipeline(
+    name="sse_recipe",
+    passes=_sse_passes(),
+    graph_factory=build_sse_sigma_sdfg,
+    initial=("fig8", "initial Σ≷ dataflow"),
+    hooks=_sse_hooks,
+    make_inputs=_sse_inputs,
+    reference=_sse_reference,
+)
+
+#: (stage, description) table — *derived* from the pipeline declaration;
+#: consumed by ``repro.api.Plan`` and the recipe tests.
+RECIPE_SUMMARY: Tuple[Tuple[str, str], ...] = SSE_PIPELINE.summary
+
+
+def build_stages() -> List[Stage]:
+    """Apply the full recipe to a fresh graph; snapshot after every pass."""
+    return SSE_PIPELINE.build()
+
+
+def sse_movement_report(dims: Mapping[str, int]) -> PipelineReport:
+    """Per-stage modeled data movement (paper §4.1) at concrete dims."""
+    return SSE_PIPELINE.report(dims)
+
+
+def compile_sse_pipeline(
+    verify: bool = True,
+    seed: int = 0,
+    rtol: float = 1e-10,
+    atol: float = 1e-10,
+) -> CompiledPipeline:
+    """Compile the recipe into an interpreter-backed Σ≷ callable.
+
+    With ``verify=True`` (default), every stage is executed on random
+    :data:`VERIFY_DIMS` inputs and checked against
+    :func:`sse_sigma_reference` to the given tolerances.
+    """
+    return SSE_PIPELINE.compile(
+        verify_dims=VERIFY_DIMS if verify else None,
+        seed=seed,
+        rtol=rtol,
+        atol=atol,
+    )
 
 
 def run_stage(
@@ -245,17 +299,7 @@ def run_stage(
     tables: Dict[str, np.ndarray],
 ) -> Tuple[np.ndarray, Interpreter]:
     """Execute one stage; returns Σ≷ in the *original* [kz, E, a] layout."""
-    inputs = apply_layout(
-        {k: v for k, v in arrays.items() if k in ("G", "dH", "D")},
-        stage.input_perms,
-    )
-    interp = Interpreter(stage.sdfg)
-    store = interp.run(dims, inputs, tables=tables)
-    sigma = store["Sigma"]
-    if stage.output_perm is not None:
-        inv = np.argsort(stage.output_perm)
-        sigma = np.transpose(sigma, inv)
-    return sigma, interp
+    return _pipeline_mod.run_stage(stage, dims, arrays, tables)
 
 
 def verify_stage(
@@ -272,8 +316,6 @@ def verify_stage(
         reference = sse_sigma_reference(
             arrays["G"], arrays["dH"], arrays["D"], tables["__neigh__"]
         )
-    sigma, _ = run_stage(stage, dims, arrays, tables)
-    err = float(np.max(np.abs(sigma - reference)))
-    if not np.allclose(sigma, reference, rtol=rtol, atol=atol):
-        raise AssertionError(f"stage {stage.name!r} deviates: max err {err:.3e}")
-    return err
+    return _pipeline_mod.verify_stage(
+        stage, dims, arrays, tables, reference, rtol=rtol, atol=atol
+    )

@@ -14,6 +14,27 @@ from .graph import SDFG, ArrayDesc, InterstateEdge, InvalidSDFGError, SDFGState
 from .interpreter import ExecutionReport, Interpreter, execute
 from .memlet import Memlet
 from .nodes import AccessNode, Map, MapEntry, MapExit, NestedSDFG, Tasklet
+from .passes import (
+    BatchPass,
+    ExpandPass,
+    FissionPass,
+    FusePass,
+    LayoutPass,
+    Pass,
+    PassError,
+    PassOutcome,
+    RedundancyPass,
+    ShrinkPass,
+    TilePass,
+)
+from .pipeline import (
+    CompiledPipeline,
+    Pipeline,
+    PipelineReport,
+    Stage,
+    StageMovement,
+    measure_movement,
+)
 from .propagation import (
     IndirectionHook,
     neighbor_indirection_hook,
@@ -21,6 +42,7 @@ from .propagation import (
     propagate_through_maps,
 )
 from .subsets import Indices, Range
+from .transformations import Site
 from .symbolic import (
     Add,
     Expr,
@@ -54,6 +76,24 @@ __all__ = [
     "MapExit",
     "NestedSDFG",
     "Tasklet",
+    "Pass",
+    "PassError",
+    "PassOutcome",
+    "FissionPass",
+    "RedundancyPass",
+    "LayoutPass",
+    "BatchPass",
+    "ExpandPass",
+    "FusePass",
+    "ShrinkPass",
+    "TilePass",
+    "Pipeline",
+    "CompiledPipeline",
+    "PipelineReport",
+    "Stage",
+    "StageMovement",
+    "Site",
+    "measure_movement",
     "IndirectionHook",
     "neighbor_indirection_hook",
     "propagate_memlet",

@@ -145,6 +145,33 @@ class SDFGState:
                 return n
         raise InvalidSDFGError(f"no MapEntry for {exit_node!r}")
 
+    def scope_chain(self, node: Node) -> List[MapEntry]:
+        """Map entries enclosing ``node``, innermost first.
+
+        A map entry's own chain starts with its *parent* scope (a map is
+        not inside itself); every other node's chain starts with the map
+        whose scope immediately contains it.  Used by memlet propagation
+        (innermost-to-outermost) and by shrink/movement analyses.
+        """
+        entries = [n for n in self.graph.nodes if isinstance(n, MapEntry)]
+        sets = {e: self._scope_sets(e) for e in entries}
+        chain = [e for e in entries if e is not node and node in sets[e]]
+        # Innermost first == deepest nesting first: an entry nested inside
+        # another appears in the other's scope, so sort by how many of the
+        # chain's scopes contain each entry (more containers -> deeper).
+        chain.sort(
+            key=lambda e: sum(
+                1 for o in chain if o is not e and e in sets[o]
+            ),
+            reverse=True,
+        )
+        return chain
+
+    def _scope_sets(self, entry: MapEntry) -> set:
+        children = set(self.scope_children(entry))
+        children.add(self.exit_node(entry))
+        return children
+
     def top_level_maps(self) -> List[MapEntry]:
         """Map entries not nested inside any other map."""
         entries = [n for n in self.graph.nodes if isinstance(n, MapEntry)]

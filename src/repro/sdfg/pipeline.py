@@ -1,0 +1,569 @@
+"""Pipeline: ordered passes with snapshots, movement accounting, compile.
+
+The executable form of the paper's optimization workflow (§4):
+
+* a :class:`Pipeline` is an ordered, declarative list of
+  :class:`~repro.sdfg.passes.Pass` objects applied to a freshly built
+  SDFG, snapshotting a :class:`Stage` after every pass;
+* :func:`measure_movement` models the paper's §4.1 data-movement metric:
+  every tasklet memlet is propagated outward through its enclosing map
+  scopes (:func:`~repro.sdfg.propagation.propagate_through_maps`, the
+  Fig. 7 derivation) and its access volume evaluated in bytes under
+  concrete symbol bindings — :meth:`Pipeline.report` tabulates this per
+  stage as a serializable :class:`PipelineReport`;
+* :meth:`Pipeline.compile` verifies every stage against a reference
+  kernel on concrete inputs and yields a :class:`CompiledPipeline` — an
+  interpreter-backed callable executing the final (optimized) graph.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from .graph import SDFG
+from .interpreter import Interpreter
+from .memlet import Memlet
+from .nodes import AccessNode, Tasklet
+from .passes import Pass, PassOutcome
+from .propagation import IndirectionHook, propagate_through_maps
+from .symbolic import Expr
+from .transformations import apply_layout
+
+__all__ = [
+    "Stage",
+    "StageMovement",
+    "PipelineReport",
+    "Pipeline",
+    "CompiledPipeline",
+    "measure_movement",
+    "format_bytes",
+    "run_stage",
+    "verify_stage",
+]
+
+
+@dataclass
+class Stage:
+    """A snapshot of the SDFG after one pipeline pass.
+
+    ``input_perms``/``output_perm`` record the physical-layout
+    permutations accumulated by layout passes: callers permute the
+    corresponding input arrays before interpretation and invert the
+    output permutation afterwards (:func:`run_stage` does both).
+    """
+
+    name: str
+    description: str
+    sdfg: SDFG
+    input_perms: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    output_perm: Optional[Tuple[int, ...]] = None
+    #: transformations the producing pass applied (reprs; () for initial)
+    applied: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"Stage({self.name}: {self.description})"
+
+
+# -- data-movement accounting ---------------------------------------------------
+
+
+def measure_movement(
+    sdfg: SDFG,
+    env: Mapping[str, int],
+    hooks: Iterable[IndirectionHook] = (),
+) -> Dict[str, int]:
+    """Modeled bytes moved per array, summed over all tasklet memlets.
+
+    Each memlet attached to a tasklet is propagated outward through the
+    tasklet's enclosing map scopes (innermost first, the paper's Fig. 7
+    derivation), multiplying its access count by every scope's iteration
+    volume; the symbolic totals are then evaluated under ``env`` and
+    scaled by the array element size.  Non-tasklet edges (the full-array
+    memlets decorating scope boundaries) are not movement — they restate
+    the same traffic one level out — and are skipped.
+    """
+    hooks = list(hooks)
+    volumes: Dict[str, Expr] = {}
+    for st in sdfg.states:
+        for u, v, d in st.edges():
+            mem: Optional[Memlet] = d.get("memlet")
+            if mem is None:
+                continue
+            if isinstance(u, Tasklet):
+                node = u
+            elif isinstance(v, Tasklet):
+                node = v
+            else:
+                continue
+            chain = st.scope_chain(node)
+            desc = sdfg.arrays[mem.data]
+            if chain:
+                prop = propagate_through_maps(
+                    mem,
+                    [e.map for e in chain],
+                    array_shape=desc.shape,
+                    hooks=hooks,
+                )
+            else:
+                prop = mem
+            prev = volumes.get(mem.data)
+            volumes[mem.data] = (
+                prop.accesses if prev is None else prev + prop.accesses
+            )
+    return {
+        name: int(expr.evaluate(env)) * sdfg.arrays[name].dtype.itemsize
+        for name, expr in volumes.items()
+    }
+
+
+@dataclass(frozen=True)
+class StageMovement:
+    """One pipeline stage's modeled data movement and transient footprint."""
+
+    name: str
+    description: str
+    #: modeled bytes moved, per array
+    per_array: Dict[str, int]
+    #: total bytes of transient (scratch) storage the stage allocates —
+    #: the metric array shrinking improves (§4.2 footprint reduction)
+    transient_bytes: int = 0
+    #: transformations the stage's pass applied
+    applied: Tuple[str, ...] = ()
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.per_array.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "per_array": dict(self.per_array),
+            "total_bytes": self.total_bytes,
+            "transient_bytes": self.transient_bytes,
+            "applied": list(self.applied),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "StageMovement":
+        return cls(
+            name=d["name"],
+            description=d["description"],
+            per_array={k: int(v) for k, v in d["per_array"].items()},
+            transient_bytes=int(d.get("transient_bytes", 0)),
+            applied=tuple(d.get("applied", ())),
+        )
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Per-stage data-movement accounting of one pipeline, serializable."""
+
+    pipeline: str
+    dims: Dict[str, int]
+    stages: Tuple[StageMovement, ...]
+
+    def stage(self, name: str) -> StageMovement:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage {name!r} in report")
+
+    @property
+    def total_reduction(self) -> float:
+        """Bytes-moved ratio of the first stage over the last."""
+        return self.stages[0].total_bytes / max(
+            self.stages[-1].total_bytes, 1
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pipeline": self.pipeline,
+            "dims": dict(self.dims),
+            "stages": [s.to_dict() for s in self.stages],
+            "total_reduction": self.total_reduction,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PipelineReport":
+        return cls(
+            pipeline=d["pipeline"],
+            dims={k: int(v) for k, v in d["dims"].items()},
+            stages=tuple(StageMovement.from_dict(s) for s in d["stages"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineReport":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        lines = [f"pipeline[{self.pipeline}] modeled data movement:"]
+        first = self.stages[0].total_bytes
+        for s in self.stages:
+            lines.append(
+                f"  {s.name:8s} {format_bytes(s.total_bytes):>12s} moved "
+                f"({first / max(s.total_bytes, 1):6.1f}x less), "
+                f"{format_bytes(s.transient_bytes):>12s} scratch  "
+                f"{s.description}"
+            )
+        return "\n".join(lines)
+
+
+def _compose_perm(
+    prev: Optional[Tuple[int, ...]], perm: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """Permutation applying ``prev`` then ``perm`` (new-from-old order)."""
+    if prev is None:
+        return tuple(perm)
+    return tuple(prev[i] for i in perm)
+
+
+def _transient_bytes(sdfg: SDFG, env: Mapping[str, int]) -> int:
+    """Total allocated transient (scratch) storage under ``env``."""
+    return sum(
+        int(sdfg.arrays[name].total_size().evaluate(env))
+        * sdfg.arrays[name].dtype.itemsize
+        for name in sdfg.transients()
+    )
+
+
+def format_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
+        if abs(n) < 1024 or unit == "PiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n:.1f} PiB"
+
+
+# -- stage execution -------------------------------------------------------------
+
+
+def _written_arrays(sdfg: SDFG) -> List[str]:
+    """Non-transient arrays written in any state (the graph's outputs)."""
+    out = []
+    for st in sdfg.states:
+        for _, v, d in st.edges():
+            if (
+                isinstance(v, AccessNode)
+                and d.get("memlet") is not None
+                and not sdfg.arrays[v.data].transient
+                and v.data not in out
+            ):
+                out.append(v.data)
+    return sorted(out)
+
+
+def run_stage(
+    stage: Stage,
+    dims: Mapping[str, int],
+    arrays: Mapping[str, np.ndarray],
+    tables: Optional[Mapping[str, np.ndarray]] = None,
+) -> Tuple[np.ndarray, Interpreter]:
+    """Execute one stage; returns the output in the *original* layout.
+
+    Inputs are permuted per the stage's accumulated layout
+    transformations; the (single) written non-transient array is
+    returned with its output permutation inverted.
+    """
+    outputs = _written_arrays(stage.sdfg)
+    if len(outputs) != 1:
+        raise ValueError(
+            f"stage {stage.name!r} writes {outputs}; expected one output"
+        )
+    inputs = {
+        k: v
+        for k, v in arrays.items()
+        if k in stage.sdfg.arrays
+        and not stage.sdfg.arrays[k].transient
+        and k not in outputs
+    }
+    inputs = apply_layout(inputs, stage.input_perms)
+    interp = Interpreter(stage.sdfg)
+    store = interp.run(dims, inputs, tables=tables)
+    result = store[outputs[0]]
+    if stage.output_perm is not None:
+        result = np.transpose(result, np.argsort(stage.output_perm))
+    return result, interp
+
+
+def verify_stage(
+    stage: Stage,
+    dims: Mapping[str, int],
+    arrays: Mapping[str, np.ndarray],
+    tables: Mapping[str, np.ndarray],
+    reference: np.ndarray,
+    rtol: float = 1e-10,
+    atol: float = 1e-10,
+) -> float:
+    """Compare a stage against a reference result; returns the max error."""
+    result, _ = run_stage(stage, dims, arrays, tables)
+    err = float(np.max(np.abs(result - reference)))
+    if not np.allclose(result, reference, rtol=rtol, atol=atol):
+        raise AssertionError(
+            f"stage {stage.name!r} deviates: max err {err:.3e}"
+        )
+    return err
+
+
+# -- the pipeline ----------------------------------------------------------------
+
+
+class Pipeline:
+    """An ordered, declarative optimization recipe.
+
+    Parameters
+    ----------
+    name:
+        Pipeline identifier (used in reports).
+    passes:
+        The ordered :class:`~repro.sdfg.passes.Pass` list.
+    graph_factory:
+        Builds the initial SDFG the pipeline optimizes.
+    initial:
+        ``(stage_name, description)`` of the untransformed graph.
+    hooks:
+        :class:`~repro.sdfg.propagation.IndirectionHook` list (or factory
+        returning one) for the movement model's irregular accesses.
+    make_inputs:
+        ``(dims, seed) -> (arrays, tables)`` factory of random concrete
+        inputs, used by :meth:`compile` for stage verification.
+    reference:
+        ``(arrays, tables) -> ndarray`` ground-truth kernel the compiled
+        pipeline is verified against.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        passes: Sequence[Pass],
+        graph_factory: Callable[[], SDFG],
+        initial: Tuple[str, str] = ("initial", "initial dataflow"),
+        hooks: Any = (),
+        make_inputs: Optional[Callable[..., tuple]] = None,
+        reference: Optional[Callable[..., np.ndarray]] = None,
+    ):
+        self.name = name
+        self.passes: Tuple[Pass, ...] = tuple(passes)
+        self.graph_factory = graph_factory
+        self.initial = (str(initial[0]), str(initial[1]))
+        self._hooks = hooks
+        self.make_inputs = make_inputs
+        self.reference = reference
+        self._cached_stages: Optional[List[Stage]] = None
+        names = [self.initial[0]] + [p.stage for p in self.passes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"pipeline {name!r}: duplicate stage names")
+
+    # -- declarative surface ---------------------------------------------------
+    @property
+    def summary(self) -> Tuple[Tuple[str, str], ...]:
+        """(stage, description) table, initial stage included — the
+        single source for ``RECIPE_SUMMARY``-style listings."""
+        return (self.initial,) + tuple(
+            (p.stage, p.description) for p in self.passes
+        )
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.summary)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "initial": {
+                "stage": self.initial[0],
+                "description": self.initial[1],
+            },
+            "passes": [p.to_dict() for p in self.passes],
+        }
+
+    def hooks(self) -> List[IndirectionHook]:
+        h = self._hooks() if callable(self._hooks) else self._hooks
+        return list(h)
+
+    # -- application -----------------------------------------------------------
+    def apply(self, sdfg: SDFG) -> Tuple[List[Stage], List[PassOutcome]]:
+        """Run every pass on ``sdfg`` in place, snapshotting per stage."""
+        if len(sdfg.states) != 1:
+            raise ValueError(
+                f"pipeline {self.name!r}: passes transform a single-state "
+                f"SDFG; got {len(sdfg.states)} states"
+            )
+        input_perms: Dict[str, Tuple[int, ...]] = {}
+        output_perm: Optional[Tuple[int, ...]] = None
+        stages = [
+            Stage(self.initial[0], self.initial[1], copy.deepcopy(sdfg))
+        ]
+        outcomes: List[PassOutcome] = []
+        for p in self.passes:
+            state = sdfg.states[0]
+            outcome = p.run(sdfg, state)
+            outcomes.append(outcome)
+            if p.perms:
+                written = set(_written_arrays(sdfg))
+                for array, perm in p.perms.items():
+                    desc = sdfg.arrays[array]
+                    if desc.transient:
+                        continue  # interior layout: no caller-visible effect
+                    if array in written:
+                        output_perm = _compose_perm(output_perm, perm)
+                    else:
+                        input_perms[array] = _compose_perm(
+                            input_perms.get(array), perm
+                        )
+            stages.append(
+                Stage(
+                    p.stage,
+                    p.description,
+                    copy.deepcopy(sdfg),
+                    dict(input_perms),
+                    output_perm,
+                    applied=outcome.applied,
+                )
+            )
+        return stages, outcomes
+
+    def build(self) -> List[Stage]:
+        """Build a fresh graph and apply the full pipeline to it."""
+        return self.apply(self.graph_factory())[0]
+
+    def stages(self) -> List[Stage]:
+        """Cached stage snapshots (build once, reuse for reports)."""
+        if self._cached_stages is None:
+            self._cached_stages = self.build()
+        return self._cached_stages
+
+    # -- analysis ----------------------------------------------------------------
+    def report(
+        self,
+        dims: Mapping[str, int],
+        stages: Optional[Sequence[Stage]] = None,
+    ) -> PipelineReport:
+        """Per-stage modeled data movement at the given dimensions."""
+        stages = self.stages() if stages is None else stages
+        hooks = self.hooks()
+        movements = tuple(
+            StageMovement(
+                name=s.name,
+                description=s.description,
+                per_array=measure_movement(s.sdfg, dims, hooks),
+                transient_bytes=_transient_bytes(s.sdfg, dims),
+                applied=s.applied,
+            )
+            for s in stages
+        )
+        return PipelineReport(
+            pipeline=self.name, dims=dict(dims), stages=movements
+        )
+
+    # -- compilation -------------------------------------------------------------
+    def compile(
+        self,
+        verify_dims: Optional[Mapping[str, int]] = None,
+        seed: int = 0,
+        rtol: float = 1e-10,
+        atol: float = 1e-10,
+    ) -> "CompiledPipeline":
+        """Apply the pipeline and wrap the final stage as a callable.
+
+        With ``verify_dims``, every stage (initial included) is executed
+        through the interpreter on random inputs of those dimensions and
+        checked against the pipeline's ``reference`` kernel to the given
+        tolerances, recording per-stage max errors.
+
+        The compiled pipeline shares the cached stage snapshots
+        (interpretation never mutates the graphs); use :meth:`build` for
+        snapshots you intend to modify.
+        """
+        stages = self.stages()
+        verification: Optional[Dict[str, float]] = None
+        if verify_dims is not None:
+            if self.make_inputs is None or self.reference is None:
+                raise ValueError(
+                    f"pipeline {self.name!r}: verification requires "
+                    "make_inputs and reference"
+                )
+            arrays, tables = self.make_inputs(dict(verify_dims), seed=seed)
+            ref = self.reference(arrays, tables)
+            verification = {
+                s.name: verify_stage(
+                    s, dict(verify_dims), arrays, tables, ref,
+                    rtol=rtol, atol=atol,
+                )
+                for s in stages
+            }
+        return CompiledPipeline(self, stages, verification)
+
+
+class CompiledPipeline:
+    """The executable product of :meth:`Pipeline.compile`.
+
+    Calling it runs the *final* (fully optimized) stage through the
+    interpreter; individual stages remain addressable for ablations.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        stages: Sequence[Stage],
+        verification: Optional[Dict[str, float]] = None,
+    ):
+        self.pipeline = pipeline
+        self.stages = list(stages)
+        self.by_name = {s.name: s for s in self.stages}
+        #: per-stage max error vs the reference kernel (None: not verified)
+        self.verification = verification
+
+    @property
+    def final(self) -> Stage:
+        return self.stages[-1]
+
+    @property
+    def verified(self) -> bool:
+        return self.verification is not None
+
+    def __call__(
+        self,
+        dims: Mapping[str, int],
+        arrays: Mapping[str, np.ndarray],
+        tables: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        result, _ = run_stage(self.final, dims, arrays, tables)
+        return result
+
+    def run_stage(
+        self,
+        name: str,
+        dims: Mapping[str, int],
+        arrays: Mapping[str, np.ndarray],
+        tables: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, Interpreter]:
+        return run_stage(self.by_name[name], dims, arrays, tables)
+
+    def report(self, dims: Mapping[str, int]) -> PipelineReport:
+        return self.pipeline.report(dims, stages=self.stages)
+
+    def __repr__(self) -> str:
+        v = "verified" if self.verified else "unverified"
+        return (
+            f"CompiledPipeline({self.pipeline.name}, "
+            f"{len(self.stages)} stages, {v})"
+        )

@@ -1,7 +1,7 @@
 """Graph transformations used by the paper's optimization recipe (§4)."""
 
 from .array_shrink import ArrayShrink
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 from .batching import BatchedOperationSubstitution
 from .data_layout import DataLayoutTransformation, apply_layout
 from .map_expansion import MapExpansion
@@ -12,6 +12,7 @@ from .redundancy import RedundantComputationRemoval
 
 __all__ = [
     "ArrayShrink",
+    "Site",
     "Transformation",
     "TransformationError",
     "BatchedOperationSubstitution",

@@ -14,9 +14,10 @@ from typing import List, Sequence
 
 from ..graph import SDFG, ArrayDesc, SDFGState
 from ..memlet import Memlet
+from ..nodes import MapEntry
 from ..subsets import Range
 from ..symbolic import Symbol
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["ArrayShrink"]
 
@@ -43,6 +44,74 @@ class ArrayShrink(Transformation):
         self.array = array
         self.drop_dims = list(drop_dims)
         self.params = list(params)
+
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
+        """Transient dimensions indexed by one shared scope parameter.
+
+        A dimension is shrinkable only when every memlet on the array
+        indexes it with the *same* plain parameter ``p`` **and** ``p`` is
+        bound by one common enclosing map for all of those memlets (the
+        array then lives entirely within a single iteration of that map).
+        A parameter bound by different inner scopes at the producer and
+        the consumer — e.g. the ``i`` dimension of ``∇HG≷`` after fusion,
+        written by one inner map and re-read in full by another — must
+        stay materialized.
+        """
+        sites: List[Site] = []
+        for name in sorted(sdfg.transients()):
+            desc = sdfg.arrays[name]
+            edges = [
+                (u, v, d["memlet"])
+                for u, v, d in state.edges()
+                if d.get("memlet") is not None and d["memlet"].data == name
+            ]
+            if not edges:
+                continue
+            drop: List[int] = []
+            params: List[str] = []
+            for pos in range(desc.rank):
+                symbols = set()
+                point = True
+                for _, _, mem in edges:
+                    b, e, _ = mem.subset.dims[pos]
+                    if b != e or not isinstance(b, Symbol):
+                        point = False
+                        break
+                    symbols.add(b.name)
+                if not point or len(symbols) != 1:
+                    continue
+                p = symbols.pop()
+                if cls._common_binding(state, edges, p):
+                    drop.append(pos)
+                    params.append(p)
+            if drop:
+                sites.append(
+                    Site(
+                        transformation=cls.__name__,
+                        state=state.label,
+                        arrays=(name,),
+                        params=tuple(params),
+                        dims=tuple(drop),
+                    )
+                )
+        return sites
+
+    @staticmethod
+    def _common_binding(state: SDFGState, edges, param: str) -> bool:
+        """True when one map binds ``param`` for every given edge."""
+        binding: List[MapEntry] = []
+        for u, v, _ in edges:
+            # The edge executes within the deeper endpoint's scope.
+            cu, cv = state.scope_chain(u), state.scope_chain(v)
+            chain = cu if len(cu) >= len(cv) else cv
+            inner = next(
+                (e for e in chain if param in e.map.params), None
+            )
+            if inner is None:
+                return False
+            binding.append(inner)
+        return all(b is binding[0] for b in binding)
 
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.array not in sdfg.arrays:

@@ -20,7 +20,7 @@ from ..graph import SDFG, SDFGState
 from ..memlet import Memlet
 from ..nodes import MapEntry, Tasklet
 from ..subsets import Range
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["BatchedOperationSubstitution"]
 
@@ -55,6 +55,45 @@ class BatchedOperationSubstitution(Transformation):
         self.new_tasklet = new_tasklet
         self.in_memlets = dict(in_memlets)
         self.out_memlets = dict(out_memlets)
+
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
+        """Single-tasklet scopes with >= 2 parameters.
+
+        ``arrays`` lists the arrays the scope's tasklet *writes* — the
+        natural selection key for a pass ("batch the producer of X"); the
+        replacement tasklet and memlets remain the pass's configuration,
+        since the rewrite encodes an algebraic identity.
+        """
+        sites: List[Site] = []
+        for entry in state.graph.nodes:
+            if not isinstance(entry, MapEntry):
+                continue
+            if len(entry.map.params) < 2:
+                continue
+            tasklets = [
+                n
+                for n in state.scope_children(entry)
+                if isinstance(n, Tasklet)
+            ]
+            if len(tasklets) != 1:
+                continue
+            written = {
+                d["memlet"].data
+                for _, _, d in state.out_edges(tasklets[0])
+                if d.get("memlet") is not None
+            }
+            sites.append(
+                Site(
+                    transformation=cls.__name__,
+                    state=state.label,
+                    scope=entry.map.label,
+                    arrays=tuple(sorted(written)),
+                    params=tuple(entry.map.params),
+                    nodes=(entry,),
+                )
+            )
+        return sites
 
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.map_entry not in state.graph.nodes:

@@ -12,14 +12,14 @@ the corresponding numpy arrays; :func:`apply_layout` does this.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..graph import SDFG, ArrayDesc, SDFGState
 from ..memlet import Memlet
 from ..subsets import Range
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["DataLayoutTransformation", "apply_layout"]
 
@@ -32,6 +32,25 @@ class DataLayoutTransformation(Transformation):
     def __init__(self, array: str, perm: Sequence[int]):
         self.array = array
         self.perm = tuple(perm)
+
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
+        """Every multi-dimensional array referenced by a memlet of the
+        state is re-layoutable; the permutation is the pass's choice."""
+        referenced = {
+            d["memlet"].data
+            for _, _, d in state.edges()
+            if d.get("memlet") is not None
+        }
+        return [
+            Site(
+                transformation=cls.__name__,
+                state=state.label,
+                arrays=(name,),
+            )
+            for name in sorted(referenced)
+            if sdfg.arrays[name].rank >= 2
+        ]
 
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.array not in sdfg.arrays:

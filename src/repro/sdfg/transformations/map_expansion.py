@@ -15,7 +15,7 @@ from ..graph import SDFG, SDFGState
 from ..memlet import Memlet
 from ..nodes import Map, MapEntry, MapExit
 from ..subsets import Range
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["MapExpansion"]
 
@@ -29,6 +29,21 @@ class MapExpansion(Transformation):
         self.map_entry = map_entry
         self.outer_params = list(outer_params)
         self.inner_entry: Optional[MapEntry] = None
+
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
+        """Any map with >= 2 parameters can hoist a proper subset."""
+        return [
+            Site(
+                transformation=cls.__name__,
+                state=state.label,
+                scope=n.map.label,
+                params=tuple(n.map.params),
+                nodes=(n,),
+            )
+            for n in state.graph.nodes
+            if isinstance(n, MapEntry) and len(n.map.params) >= 2
+        ]
 
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.map_entry not in state.graph.nodes:

@@ -22,7 +22,7 @@ from ..memlet import Memlet
 from ..nodes import AccessNode, Map, MapEntry, MapExit, Tasklet
 from ..subsets import Range
 from ..symbolic import Symbol
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["MapFission"]
 
@@ -47,6 +47,36 @@ class MapFission(Transformation):
         self.new_entries: List[MapEntry] = []
 
     # -- pattern ------------------------------------------------------------
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
+        """Fissionable scopes: >= 2 tasklets, no nested maps, transient
+        intermediates only.  ``arrays`` lists the intermediates that will
+        be expanded into tensors."""
+        sites: List[Site] = []
+        for entry in state.graph.nodes:
+            if not isinstance(entry, MapEntry):
+                continue
+            children = state.scope_children(entry)
+            if any(isinstance(n, (MapEntry, MapExit)) for n in children):
+                continue
+            accesses = [n for n in children if isinstance(n, AccessNode)]
+            if any(not sdfg.arrays[n.data].transient for n in accesses):
+                continue
+            tasklets = [n for n in children if isinstance(n, Tasklet)]
+            if len(tasklets) < 2:
+                continue
+            sites.append(
+                Site(
+                    transformation=cls.__name__,
+                    state=state.label,
+                    scope=entry.map.label,
+                    arrays=tuple(sorted({n.data for n in accesses})),
+                    params=tuple(entry.map.params),
+                    nodes=(entry,),
+                )
+            )
+        return sites
+
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.map_entry not in state.graph.nodes:
             raise TransformationError("map entry not in state")

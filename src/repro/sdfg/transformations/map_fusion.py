@@ -24,7 +24,7 @@ from ..memlet import Memlet
 from ..nodes import AccessNode, Map, MapEntry, MapExit, Node, Tasklet
 from ..subsets import Range
 from ..symbolic import Symbol
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["MapFusion"]
 
@@ -38,6 +38,32 @@ class MapFusion(Transformation):
         self.map_entries = list(map_entries)
         self.label = label
         self.fused_entry: Optional[MapEntry] = None
+
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
+        """Groups of >= 2 top-level scopes with identical parameters and
+        ranges.  One site per group; ``nodes`` is ordered topologically
+        (writers before readers), the order fusion applies them in."""
+        order = {n: i for i, n in enumerate(state.topological_nodes())}
+        groups: Dict[tuple, List[MapEntry]] = {}
+        for entry in state.top_level_maps():
+            key = (tuple(entry.map.params), entry.map.range)
+            groups.setdefault(key, []).append(entry)
+        sites: List[Site] = []
+        for (params, _), entries in groups.items():
+            if len(entries) < 2:
+                continue
+            entries.sort(key=lambda e: order[e])
+            sites.append(
+                Site(
+                    transformation=cls.__name__,
+                    state=state.label,
+                    scope=" + ".join(e.map.label for e in entries),
+                    params=params,
+                    nodes=tuple(entries),
+                )
+            )
+        return sites
 
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if len(self.map_entries) < 2:

@@ -17,7 +17,7 @@ from ..memlet import Memlet
 from ..nodes import Map, MapEntry, MapExit
 from ..subsets import Range
 from ..symbolic import ExprLike, Min, sympify
-from .base import Transformation, TransformationError
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["MapTiling"]
 
@@ -53,6 +53,29 @@ class MapTiling(Transformation):
         self.divides_evenly = divides_evenly
         self.prefix = prefix
         self.outer_map: Optional[Map] = None
+
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState):
+        """Every map scope is tileable; ``params`` lists the candidates
+        (those whose ``t``-prefixed tile name is still free)."""
+        sites = []
+        for n in state.graph.nodes:
+            if not isinstance(n, MapEntry):
+                continue
+            candidates = tuple(
+                p for p in n.map.params if f"t{p}" not in n.map.params
+            )
+            if candidates:
+                sites.append(
+                    Site(
+                        transformation=cls.__name__,
+                        state=state.label,
+                        scope=n.map.label,
+                        params=candidates,
+                        nodes=(n,),
+                    )
+                )
+        return sites
 
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.map_entry not in state.graph.nodes:

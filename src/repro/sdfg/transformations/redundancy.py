@@ -20,8 +20,8 @@ from ..graph import SDFG, ArrayDesc, SDFGState
 from ..memlet import Memlet
 from ..nodes import AccessNode, MapEntry, Tasklet
 from ..subsets import Range
-from ..symbolic import NonAffineError, Symbol, affine_coefficients
-from .base import Transformation, TransformationError
+from ..symbolic import Integer, NonAffineError, Symbol, affine_coefficients
+from .base import Site, Transformation, TransformationError
 
 __all__ = ["RedundantComputationRemoval"]
 
@@ -47,6 +47,101 @@ class RedundantComputationRemoval(Transformation):
         self.removed_params = list(removed_params)
 
     # -- pattern -------------------------------------------------------------
+    @classmethod
+    def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
+        """Single-tasklet scopes with offset-only parameters.
+
+        A parameter ``r`` is removable when every one of its appearances
+        in the producer's *input* memlets has the form ``k ± r`` where the
+        kept parameter ``k`` already spans the full accessed array axis
+        (the shifted subspace is covered, so iterating over ``r`` only
+        recomputes values), and ``r`` indexes a plain dimension of the
+        produced tensor (so that dimension can be dropped).
+        """
+        sites: List[Site] = []
+        for entry in state.graph.nodes:
+            if not isinstance(entry, MapEntry):
+                continue
+            tasklets = [
+                n
+                for n in state.scope_children(entry)
+                if isinstance(n, Tasklet)
+            ]
+            if len(tasklets) != 1:
+                continue
+            t = tasklets[0]
+            m = entry.map
+            pset = set(m.params)
+            offsets: Dict[str, Tuple[str, int]] = {}
+            plain_in: set = set()
+            consistent = True
+            for _, _, d in state.in_edges(t):
+                mem = d.get("memlet")
+                if mem is None:
+                    continue
+                desc = sdfg.arrays[mem.data]
+                for dim_i, (b, e, _) in enumerate(mem.subset.dims):
+                    if b != e:
+                        continue
+                    syms = b.free_symbols & pset
+                    if not syms:
+                        continue
+                    try:
+                        coeffs, _ = affine_coefficients(b, m.params)
+                    except NonAffineError:
+                        plain_in |= syms  # indirection etc.: keep them
+                        continue
+                    used = [p for p in coeffs]
+                    if len(used) == 1:
+                        plain_in |= syms
+                        continue
+                    if len(used) != 2:
+                        plain_in |= syms
+                        continue
+                    # Which of the two is removable?  The kept one must
+                    # span the full array axis: range (0, extent - 1).
+                    for r, k in (used, reversed(used)):
+                        cr = coeffs[r].maybe_int()
+                        ck = coeffs[k].maybe_int()
+                        if ck != 1 or cr not in (1, -1):
+                            continue
+                        kb, ke, _ = m.range[m.param_index(k)]
+                        if kb != Integer(0) or ke != desc.shape[dim_i] - 1:
+                            continue
+                        if r in offsets and offsets[r] != (k, cr):
+                            consistent = False
+                        offsets.setdefault(r, (k, cr))
+            if not consistent:
+                continue
+            out_arrays: Dict[str, Memlet] = {}
+            for _, _, d in state.out_edges(t):
+                mem = d.get("memlet")
+                if mem is not None:
+                    out_arrays[mem.data] = mem
+            for array, out_mem in sorted(out_arrays.items()):
+                out_plain = {
+                    b.name
+                    for b, e, _ in out_mem.subset.dims
+                    if b == e and isinstance(b, Symbol)
+                }
+                removable = [
+                    p
+                    for p in m.params
+                    if p in offsets and p not in plain_in and p in out_plain
+                ]
+                if removable:
+                    sites.append(
+                        Site(
+                            transformation=cls.__name__,
+                            state=state.label,
+                            scope=m.label,
+                            arrays=(array,),
+                            params=tuple(removable),
+                            nodes=(entry,),
+                        )
+                    )
+        return sites
+
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.map_entry not in state.graph.nodes:
             raise TransformationError("map entry not in state")

@@ -195,6 +195,32 @@ class TestPlan:
         names = [n for n, _ in plan.sse_recipe]
         assert names[0] == "fig8" and names[-1] == "fig12s"
 
+    def test_scba_plan_models_movement_at_planned_dims(self):
+        w = small_workload(physics=scba_physics())
+        plan = w.compile(engine="batched")
+        r = plan.sse_report
+        assert r is not None
+        # Modeled at the *planned* grid, not a static table.
+        assert r.dims["NE"] == w.grid.NE and r.dims["Nkz"] == w.grid.Nkz
+        assert r.stages[0].total_bytes > r.stages[-1].total_bytes
+        d = json.loads(plan.to_json())
+        assert d["sse_movement"]["total_reduction"] > 1
+        assert d["sse_movement"]["stages"][0]["name"] == "fig8"
+        text = plan.describe()
+        assert "less data movement" in text and "fig12s" in text
+
+    def test_movement_report_tracks_peak_group(self):
+        plan = small_workload(
+            physics=scba_physics(), sweeps=(SweepAxis("grid", (8, 16)),)
+        ).compile(engine="batched")
+        assert plan.sse_report.dims["NE"] == 16
+
+    def test_ballistic_plan_has_no_sse_report(self):
+        plan = small_workload().compile(engine="batched")
+        assert plan.sse_report is None
+        assert plan.sse_recipe == ()
+        assert json.loads(plan.to_json())["sse_movement"] is None
+
     def test_serializable_and_inspectable(self):
         plan = small_workload(
             sweeps=(SweepAxis("bias", (0.0, 0.2)),)
@@ -432,3 +458,25 @@ class TestResultPersistence:
         sweep.save(path, include_arrays=True)
         loaded = SweepResult.load(path)
         assert np.array_equal(loaded[0].result.Gl, sweep[0].result.Gl)
+
+
+class TestSessionCrossCheck:
+    """The compiled SDFG pipeline agrees with the negf/sse.py dace kernel."""
+
+    def test_cross_check_sse_matches_production_kernel(self):
+        plan = small_workload(physics=scba_physics()).compile(engine="batched")
+        with Session(plan) as session:
+            err = session.cross_check_sse()
+        assert err <= 1e-10
+
+    def test_cross_check_on_custom_dims(self):
+        plan = small_workload(physics=scba_physics()).compile(engine="batched")
+        dims = dict(Nkz=2, NE=5, Nqz=2, Nw=3, N3D=2, NA=4, NB=2, Norb=3)
+        with Session(plan) as session:
+            assert session.cross_check_sse(dims=dims, seed=7) <= 1e-10
+
+    def test_cross_check_requires_dace_sse(self):
+        plan = small_workload().compile(engine="batched")  # ballistic
+        with Session(plan) as session:
+            with pytest.raises(RuntimeError, match="no dace SSE pipeline"):
+                session.cross_check_sse()
