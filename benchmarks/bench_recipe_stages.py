@@ -7,14 +7,16 @@ shrink runtime and tasklet invocations by more than an order of
 magnitude even at toy scale, halve the dominant flop term (§4.3), and
 cut modeled bytes-moved by two to three orders of magnitude.
 
-Emits ``BENCH_recipe.json`` next to this file: per-stage wall time,
-tasklet/flop counters, and modeled bytes moved + transient footprint at
-paper dimensions.  ``REPRO_BENCH_FAST=1`` (the CI smoke mode) keeps the
+Emits ``BENCH_recipe.json`` next to this file: per-stage wall time
+(interpreter *and* generated-numpy execution backend), tasklet/flop
+counters, and modeled bytes moved + transient footprint at paper
+dimensions.  ``REPRO_BENCH_FAST=1`` (the CI smoke mode) keeps the
 committed JSON record untouched and skips the wall-clock assertions.
 """
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -22,6 +24,7 @@ import pytest
 from repro.analysis.report import report
 from repro.core import SSE_PIPELINE, build_stages, run_stage, sse_movement_report
 from repro.core.sse_sdfg import random_sse_inputs
+from repro.sdfg import get_backend
 
 #: CI smoke mode: no JSON record, no wall-clock assertions.
 FAST = os.environ.get("REPRO_BENCH_FAST", "").strip() not in ("", "0")
@@ -68,8 +71,18 @@ def test_recipe_stage_runtime(benchmark, stage_name):
         return run_stage(stage, _DIMS, _ARRAYS, _TABLES)
 
     sigma, interp = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The generated-numpy backend on the same stage and inputs.
+    runner = get_backend("numpy").compile_stage(stage)
+    runner(_DIMS, _ARRAYS, _TABLES)  # compile/warm outside the timing
+    t0 = time.perf_counter()
+    sigma_np, _ = runner(_DIMS, _ARRAYS, _TABLES)
+    t_np = time.perf_counter() - t0
+    import numpy as np
+
+    assert np.allclose(sigma, sigma_np, rtol=1e-10, atol=1e-10)
     _STATS[stage_name] = dict(
         time=benchmark.stats.stats.min,
+        time_numpy=t_np,
         tasklets=interp.report.tasklet_invocations,
         flops=interp.report.flops,
     )
@@ -90,6 +103,7 @@ def test_recipe_stage_runtime(benchmark, stage_name):
                 **(
                     {
                         "seconds": _STATS[s.name]["time"],
+                        "seconds_numpy_backend": _STATS[s.name]["time_numpy"],
                         "tasklets": _STATS[s.name]["tasklets"],
                         "flops": _STATS[s.name]["flops"],
                     }
@@ -105,10 +119,11 @@ def test_recipe_stage_runtime(benchmark, stage_name):
         _OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     first, last = _STATS["fig8"], _STATS["fig12s"]
-    report("\nRecipe ablation (interpreted + modeled movement):")
+    report("\nRecipe ablation (interpreted + generated + modeled movement):")
     for k, v in _STATS.items():
         report(
-            f"  {k:8s}: {v['time']*1e3:9.1f} ms, "
+            f"  {k:8s}: {v['time']*1e3:9.1f} ms interp / "
+            f"{v['time_numpy']*1e3:7.2f} ms numpy, "
             f"{v['tasklets']:7d} tasklets, {v['flops']:10d} flops"
         )
     report(

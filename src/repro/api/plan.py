@@ -172,9 +172,13 @@ class Plan:
     cost: PlanCost
     #: per-group (P, chunk) rank decomposition for the multiprocess engine
     decomposition: Optional[Tuple[Dict[str, int], ...]] = None
-    #: per-stage modeled data movement of the Fig. 8 → 12 dace SSE
+    #: per-stage modeled data movement of the Fig. 8 → 12 dace/sdfg SSE
     #: pipeline, evaluated at the planned (peak-group) dimensions
     sse_report: Optional[PipelineReport] = None
+    #: SDFG execution backend driving ``sse_variant="sdfg"`` runs
+    #: (``"numpy"`` generated code / ``"interpreter"``; None follows
+    #: ``REPRO_SDFG_BACKEND``)
+    sse_backend: Optional[str] = None
 
     @property
     def sse_recipe(self) -> Tuple[Tuple[str, str], ...]:
@@ -234,12 +238,20 @@ class Plan:
             f"G≷ {c.electron_gf_bytes / 2**20:.1f} MiB peak"
         )
         if self.sse_report is not None:
+            from ..sdfg.backends import default_backend
             from ..sdfg.pipeline import format_bytes
 
             r = self.sse_report
             d = r.dims
+            variant = self.workload.physics.sse_variant
+            how = (
+                f"compiled graph, backend="
+                f"{self.sse_backend or default_backend()}"
+                if variant == "sdfg"
+                else "hand-vectorized kernel"
+            )
             lines.append(
-                f"  sse    : dace recipe, movement modeled at "
+                f"  sse    : {variant} recipe ({how}), movement modeled at "
                 f"Nkz={d['Nkz']} NE={d['NE']} Nqz={d['Nqz']} Nw={d['Nw']} "
                 f"NA={d['NA']}"
             )
@@ -260,6 +272,7 @@ class Plan:
         return {
             "workload": self.workload.to_dict(),
             "engine": self.engine,
+            "sse_backend": self.sse_backend,
             "cache_boundary": self.cache_boundary,
             "cache_operators": self.cache_operators,
             "ballistic": self.ballistic,
@@ -289,8 +302,15 @@ def compile_workload(
     cache_boundary: bool = True,
     cache_operators: bool = True,
     max_workers: Optional[int] = None,
+    sse_backend: Optional[str] = None,
 ) -> Plan:
-    """Compile a workload: validate, select execution, group for reuse."""
+    """Compile a workload: validate, select execution, group for reuse.
+
+    ``sse_backend`` selects the SDFG execution backend the sessions use
+    when the workload's physics asks for ``sse_variant="sdfg"``
+    (``"numpy"`` generated code / ``"interpreter"``; ``None`` follows
+    ``REPRO_SDFG_BACKEND``).  Unknown names raise a :class:`PlanError`.
+    """
     points = workload.sweep_points()
 
     # -- backend selection -----------------------------------------------------
@@ -301,6 +321,13 @@ def compile_workload(
             )
     else:
         engine = choose_engine(workload.grid.Nkz, workload.grid.NE)
+    if sse_backend is not None:
+        from ..sdfg.backends import BackendError, get_backend
+
+        try:
+            get_backend(sse_backend)  # respects custom registrations
+        except BackendError as exc:
+            raise PlanError(f"invalid sse_backend: {exc}") from exc
 
     # -- group sweep points by structural settings ------------------------------
     dev = workload.device
@@ -316,6 +343,7 @@ def compile_workload(
         base["cache_boundary"] = cache_boundary
         base["cache_operators"] = cache_operators
         base["max_workers"] = max_workers
+        base["sse_backend"] = sse_backend
         grid_kw = dict(
             Nkz=base["Nkz"], Nqz=base["Nqz"], NE=base["NE"], Nw=base["Nw"]
         )
@@ -384,7 +412,9 @@ def compile_workload(
 
     # -- SSE transformation pipeline, movement modeled at planned dims ----------
     sse_report: Optional[PipelineReport] = None
-    if not workload.ballistic and workload.physics.sse_variant == "dace":
+    if not workload.ballistic and workload.physics.sse_variant in (
+        "dace", "sdfg",
+    ):
         from ..core.recipe import sse_movement_report
 
         peak = max(
@@ -409,4 +439,5 @@ def compile_workload(
         cost=cost,
         decomposition=decomposition,
         sse_report=sse_report,
+        sse_backend=sse_backend,
     )

@@ -300,23 +300,28 @@ class Session:
         rtol: float = 1e-10,
         atol: float = 1e-10,
     ) -> float:
-        """Cross-check the compiled Fig. 8 → 12 pipeline against the
-        hand-written ``negf/sse.py`` ``dace`` kernel on a small grid.
+        """Cross-check every Σ≷ execution path pairwise on a small grid.
 
-        The SDFG pipeline treats the energy axis as periodic while the
+        Four evaluations of the same random inputs are compared, each
+        against every other: the Fig. 8 → 12 pipeline compiled with the
+        **numpy** (generated code) and **interpreter** backends, the
+        hand-written ``negf/sse.py`` ``dace`` kernel, and the
+        ``variant="sdfg"`` production path (the plan's own
+        ``sse_backend``) that the SCBA loop dispatches to.
+
+        The SDFG graphs treat the energy axis as periodic while the
         physical kernel zero-pads it; zeroing the top ``Nw - 1`` energy
         slots of G≷ makes every wrapped contribution vanish, so on such
-        inputs the two conventions are exactly equivalent and the
-        interpreter-executed optimized graph must agree with the
-        production kernel to float tolerance.  Returns the max abs error;
-        raises ``AssertionError`` beyond tolerance.
+        inputs all conventions are exactly equivalent and every pair
+        must agree to float tolerance.  Returns the max pairwise abs
+        error; raises ``AssertionError`` beyond tolerance.
         """
         if self.plan.sse_report is None:
             raise RuntimeError(
-                "plan has no dace SSE pipeline to cross-check "
-                "(ballistic transport or non-dace sse_variant)"
+                "plan has no dace/sdfg SSE pipeline to cross-check "
+                "(ballistic transport or baseline sse_variant)"
             )
-        from ..core.recipe import compile_sse_pipeline
+        from ..core.recipe import compiled_sse_kernel
         from ..core.sse_sdfg import random_sse_inputs
         from ..negf.sse import sigma_sse
 
@@ -326,23 +331,35 @@ class Session:
         arrays, tables = random_sse_inputs(dims, seed=seed)
         if dims["Nw"] > 1:
             arrays["G"][:, -(dims["Nw"] - 1):] = 0.0
-        compiled = compile_sse_pipeline(verify=False)
-        sigma_graph = compiled(dims, arrays, tables)
-        sigma_kernel = sigma_sse(
-            arrays["G"],
-            arrays["dH"],
-            arrays["D"],
-            tables["__neigh__"],
-            shift_sign=+1,
-            variant="dace",
+        kernel_args = (
+            arrays["G"], arrays["dH"], arrays["D"], tables["__neigh__"]
         )
-        err = float(np.max(np.abs(sigma_graph - sigma_kernel)))
-        if not np.allclose(sigma_graph, sigma_kernel, rtol=rtol, atol=atol):
-            raise AssertionError(
-                f"compiled SSE pipeline deviates from negf.sse dace "
-                f"kernel: max err {err:.3e}"
-            )
-        return err
+        results = {
+            "graph[numpy]": compiled_sse_kernel("numpy")(
+                dims, arrays, tables
+            ),
+            "graph[interpreter]": compiled_sse_kernel("interpreter")(
+                dims, arrays, tables
+            ),
+            "kernel[dace]": sigma_sse(*kernel_args, +1, "dace"),
+            "kernel[sdfg]": sigma_sse(
+                *kernel_args, +1, "sdfg", backend=self.plan.sse_backend
+            ),
+        }
+        worst = 0.0
+        names = list(results)
+        for i, x in enumerate(names):
+            for y in names[i + 1:]:
+                err = float(np.max(np.abs(results[x] - results[y])))
+                worst = max(worst, err)
+                if not np.allclose(
+                    results[x], results[y], rtol=rtol, atol=atol
+                ):
+                    raise AssertionError(
+                        f"SSE backends disagree: {x} vs {y} "
+                        f"max err {err:.3e}"
+                    )
+        return worst
 
     # -- accounting ----------------------------------------------------------------
     def reuse_counters(self) -> Dict[str, int]:

@@ -123,6 +123,11 @@ class PhysicsSpec:
             raise WorkloadError(
                 f"transport={self.transport!r}; expected 'ballistic' or 'scba'"
             )
+        if self.sse_variant not in ("reference", "omen", "dace", "sdfg"):
+            raise WorkloadError(
+                f"sse_variant={self.sse_variant!r}; expected 'reference', "
+                "'omen', 'dace' or 'sdfg'"
+            )
 
 
 # -- sweep axes ----------------------------------------------------------------

@@ -44,7 +44,6 @@ from ..sdfg import (
     FissionPass,
     FusePass,
     IndirectAccess,
-    Interpreter,
     LayoutPass,
     Memlet,
     Pipeline,
@@ -66,6 +65,7 @@ __all__ = [
     "RECIPE_SUMMARY",
     "build_stages",
     "compile_sse_pipeline",
+    "compiled_sse_kernel",
     "sse_movement_report",
     "verify_stage",
     "run_stage",
@@ -142,6 +142,7 @@ def _sse_passes() -> List:
                 ["gh"],
                 _batched_dhg_code,
                 flops=_batched_dhg_flops,
+                op="KExy,yz->KExz",
             ),
             in_memlets={
                 "g": Memlet(
@@ -277,10 +278,14 @@ def compile_sse_pipeline(
     seed: int = 0,
     rtol: float = 1e-10,
     atol: float = 1e-10,
+    backend: Optional[str] = None,
 ) -> CompiledPipeline:
-    """Compile the recipe into an interpreter-backed Σ≷ callable.
+    """Compile the recipe into an executable Σ≷ callable.
 
-    With ``verify=True`` (default), every stage is executed on random
+    ``backend`` selects the execution backend lowering every stage
+    (``"numpy"`` generated code / ``"interpreter"``; ``None`` follows
+    ``REPRO_SDFG_BACKEND``, default ``numpy``).  With ``verify=True``
+    (default), every stage is executed through that backend on random
     :data:`VERIFY_DIMS` inputs and checked against
     :func:`sse_sigma_reference` to the given tolerances.
     """
@@ -289,7 +294,32 @@ def compile_sse_pipeline(
         seed=seed,
         rtol=rtol,
         atol=atol,
+        backend=backend,
     )
+
+
+#: final-stage (fig12s) runners, cached per resolved backend name
+_SSE_KERNELS: Dict[str, object] = {}
+
+
+def compiled_sse_kernel(backend: Optional[str] = None):
+    """The fig12s Σ≷ runner for one execution backend, compiled once.
+
+    Unlike :func:`compile_sse_pipeline`, only the *final* stage is
+    lowered — the production path (``sigma_sse(variant="sdfg")``) and
+    the session cross-checks never execute the intermediate snapshots.
+    Returns a callable ``(dims, arrays, tables) -> Sigma`` in the
+    original ``[kz, E, a]`` layout; cached per resolved backend name.
+    """
+    from ..sdfg.backends import default_backend, get_backend
+
+    name = backend or default_backend()
+    if name not in _SSE_KERNELS:
+        runner = get_backend(name).compile_stage(SSE_PIPELINE.stages()[-1])
+        _SSE_KERNELS[name] = lambda dims, arrays, tables=None: runner(
+            dims, arrays, tables
+        )[0]
+    return _SSE_KERNELS[name]
 
 
 def run_stage(
@@ -297,9 +327,12 @@ def run_stage(
     dims: Dict[str, int],
     arrays: Dict[str, np.ndarray],
     tables: Dict[str, np.ndarray],
-) -> Tuple[np.ndarray, Interpreter]:
-    """Execute one stage; returns Σ≷ in the *original* [kz, E, a] layout."""
-    return _pipeline_mod.run_stage(stage, dims, arrays, tables)
+    backend: str = "interpreter",
+):
+    """Execute one stage; returns Σ≷ in the *original* [kz, E, a] layout
+    together with an execution-report carrier (see
+    :func:`repro.sdfg.pipeline.run_stage`)."""
+    return _pipeline_mod.run_stage(stage, dims, arrays, tables, backend)
 
 
 def verify_stage(

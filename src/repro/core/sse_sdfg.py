@@ -91,6 +91,7 @@ def build_sse_sigma_sdfg(name: str = "sse_sigma") -> SDFG:
         ["gh"],
         lambda g, h: {"gh": g @ h},
         flops=lambda g, h: 8 * g.shape[-1] ** 3,
+        op="xy,yz->xz",
     )
     t2 = Tasklet(
         "dHD_scale",
@@ -98,6 +99,7 @@ def build_sse_sigma_sdfg(name: str = "sse_sigma") -> SDFG:
         ["hd"],
         lambda h, d: {"hd": h * d},
         flops=lambda h, d: 6 * h.shape[-1] ** 2,
+        op="xy,->xy",
     )
     t3 = Tasklet(
         "sigma_acc",
@@ -105,6 +107,7 @@ def build_sse_sigma_sdfg(name: str = "sse_sigma") -> SDFG:
         ["out"],
         lambda gh, hd: {"out": gh @ hd},
         flops=lambda gh, hd: 8 * gh.shape[-1] ** 3,
+        op="xy,yz->xz",
     )
 
     aG = st.add_access("G")

@@ -79,7 +79,15 @@ class SCBASettings:
     max_iterations: int = 20
     tolerance: float = 1e-5
     boundary_method: Literal["sancho-rubio", "transfer-matrix"] = "sancho-rubio"
-    sse_variant: Literal["reference", "omen", "dace"] = "dace"
+    #: Σ≷ kernel: ``dace`` is the hand-vectorized transformed algorithm;
+    #: ``sdfg`` executes the compiled Fig. 8 → 12 pipeline graph itself
+    #: (backend per :attr:`sse_backend`); ``omen``/``reference`` are the
+    #: recompute-heavy and loop-nest baselines
+    sse_variant: Literal["reference", "omen", "dace", "sdfg"] = "dace"
+    #: SDFG execution backend for ``sse_variant="sdfg"`` (``"numpy"``
+    #: generated code / ``"interpreter"``; None follows
+    #: ``REPRO_SDFG_BACKEND``)
+    sse_backend: Optional[str] = None
     #: spectral-grid execution backend (see :mod:`repro.negf.engine`):
     #: ``serial`` per-point oracle, ``batched`` stacked tensors,
     #: ``multiprocess`` batched rows over a process pool
@@ -274,16 +282,17 @@ class SCBASimulation:
         Dcl = preprocess_phonon_green(Dl, dev.neighbors, self.rev)
         Dcg = preprocess_phonon_green(Dg, dev.neighbors, self.rev)
         v = s.sse_variant
+        be = s.sse_backend
         dH = self.model.dH
         # Σ<(E) ~ G<(E-ω) D<(ω) + G<(E+ω) D>(ω)
         Sl = pre_sigma * (
-            sigma_sse(Gl, dH, Dcl, dev.neighbors, +1, v)
-            + sigma_sse(Gl, dH, Dcg, dev.neighbors, -1, v)
+            sigma_sse(Gl, dH, Dcl, dev.neighbors, +1, v, backend=be)
+            + sigma_sse(Gl, dH, Dcg, dev.neighbors, -1, v, backend=be)
         )
         # Σ>(E) ~ G>(E-ω) D>(ω) + G>(E+ω) D<(ω)
         Sg = pre_sigma * (
-            sigma_sse(Gg, dH, Dcg, dev.neighbors, +1, v)
-            + sigma_sse(Gg, dH, Dcl, dev.neighbors, -1, v)
+            sigma_sse(Gg, dH, Dcg, dev.neighbors, +1, v, backend=be)
+            + sigma_sse(Gg, dH, Dcl, dev.neighbors, -1, v, backend=be)
         )
         Pl = pre_pi * pi_sse(Gl, Gg, dH, dev.neighbors, self.rev, s.Nqz, s.Nw, v)
         Pg = pre_pi * pi_sse(Gg, Gl, dH, dev.neighbors, self.rev, s.Nqz, s.Nw, v)

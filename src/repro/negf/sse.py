@@ -1,6 +1,6 @@
 """Scattering self-energies (paper Eqs. 3-5) — the SSE phase.
 
-Three executable variants of the Σ≷ kernel share one semantics:
+Four executable variants of the Σ≷ kernel share one semantics:
 
 * ``reference`` — direct loops over the full 8-D index space (ground
   truth; use for small problems only);
@@ -8,7 +8,16 @@ Three executable variants of the Σ≷ kernel share one semantics:
   that *recomputes* the ``∇H·G`` products for the shifted Green's
   functions (the 2x flop overhead the paper's Table 3 quantifies);
 * ``dace`` — the transformed algorithm of §4.2: ``∇HG`` computed once
-  (batched over ``(kz, E)``), then reused by every ``(qz, ω)`` round.
+  (batched over ``(kz, E)``), then reused by every ``(qz, ω)`` round
+  (hand-vectorized numpy);
+* ``sdfg`` — the same algorithm, but *executed from the optimized
+  graph*: the Fig. 8 → 12 pipeline's final stage is lowered by an SDFG
+  execution backend (:mod:`repro.sdfg.backends`, generated numpy code
+  by default) and driven directly — the paper's "generated code replaces
+  the hand-written kernel" step.  The graph kernel is periodic in
+  energy, so the open (zero-padded) energy axis is realized by embedding
+  G≷ in a ``NE + Nw - 1`` energy window whose top slots are zero; the
+  result matches ``dace``/``reference`` to float tolerance.
 
 Index conventions (physical):
 
@@ -26,7 +35,7 @@ The phonon Green's function enters pre-combined per Eq. (3):
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Optional
 
 import numpy as np
 
@@ -38,7 +47,17 @@ __all__ = [
     "sse_flop_estimate",
 ]
 
-Variant = Literal["reference", "omen", "dace"]
+Variant = Literal["reference", "omen", "dace", "sdfg"]
+
+
+def _sdfg_kernel(backend=None):
+    """The pipeline-compiled Σ≷ kernel (final fig12s stage only), cached
+    per execution backend.  Imported lazily: ``repro.core`` layers on
+    top of ``repro.sdfg`` and is only needed when the sdfg variant
+    runs."""
+    from ..core.recipe import compiled_sse_kernel
+
+    return compiled_sse_kernel(backend)
 
 
 def preprocess_phonon_green(
@@ -82,6 +101,7 @@ def sigma_sse(
     neigh: np.ndarray,
     shift_sign: int = +1,
     variant: Variant = "dace",
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """One Σ≷ evaluation (Eq. 3 / Fig. 5 kernel).
 
@@ -95,6 +115,10 @@ def sigma_sse(
         Combined phonon GF ``[Nqz, Nw, NA, NB, N3D, N3D]``.
     neigh:
         ``[NA, NB]`` neighbor indices (the ``f(a, b)`` indirection).
+    backend:
+        SDFG execution backend for ``variant="sdfg"`` (``"numpy"`` /
+        ``"interpreter"``; ``None`` follows ``REPRO_SDFG_BACKEND``).
+        Ignored by the other variants.
     """
     if variant == "reference":
         return _sigma_reference(G, dH, Dcomb, neigh, shift_sign)
@@ -102,6 +126,8 @@ def sigma_sse(
         return _sigma_omen(G, dH, Dcomb, neigh, shift_sign)
     if variant == "dace":
         return _sigma_dace(G, dH, Dcomb, neigh, shift_sign)
+    if variant == "sdfg":
+        return _sigma_sdfg(G, dH, Dcomb, neigh, shift_sign, backend)
     raise ValueError(f"unknown variant {variant!r}")
 
 
@@ -173,6 +199,31 @@ def _sigma_dace(G, dH, Dcomb, neigh, sign) -> np.ndarray:
     return Sigma
 
 
+def _sigma_sdfg(G, dH, Dcomb, neigh, sign, backend=None) -> np.ndarray:
+    """Σ≷ driven by the compiled Fig. 8 → 12 pipeline (final stage).
+
+    The graph treats both offset axes as periodic; the physical open
+    energy axis is recovered exactly by embedding G≷ in a zero-padded
+    window of ``NE + Nw - 1`` energy slots: every wrapped read then
+    lands in the padding and contributes nothing.  ``shift_sign=-1``
+    (absorption, ``G(E + ω)``) is the same kernel on the energy-reversed
+    window, with the result reversed back.
+    """
+    Nkz, NE, NA, No, _ = G.shape
+    Nqz, Nw, _, NB, N3D, _ = Dcomb.shape
+    NEp = NE + Nw - 1
+    Gp = np.zeros((Nkz, NEp, NA, No, No), dtype=np.complex128)
+    Gp[:, :NE] = G if sign > 0 else G[:, ::-1]
+    dims = dict(
+        Nkz=Nkz, NE=NEp, Nqz=Nqz, Nw=Nw, N3D=N3D, NA=NA, NB=NB, Norb=No
+    )
+    kern = _sdfg_kernel(backend)
+    sigma = kern(
+        dims, {"G": Gp, "dH": dH, "D": Dcomb}, {"__neigh__": neigh}
+    )[:, :NE]
+    return sigma if sign > 0 else sigma[:, ::-1]
+
+
 def pi_sse(
     G_plus: np.ndarray,
     G_minus: np.ndarray,
@@ -200,7 +251,9 @@ def pi_sse(
     """
     if variant == "reference":
         return _pi_reference(G_plus, G_minus, dH, neigh, rev, Nqz, Nw)
-    if variant in ("dace", "omen"):
+    if variant in ("dace", "omen", "sdfg"):
+        # The paper's graph recipe covers Σ≷; Π≷ (Eqs. 4-5) always runs
+        # the hand-vectorized kernel, also under the sdfg variant.
         return _pi_vectorized(G_plus, G_minus, dH, neigh, rev, Nqz, Nw)
     raise ValueError(f"unknown variant {variant!r}")
 
@@ -278,6 +331,8 @@ def sse_flop_estimate(
     full = unit * Nkz * NE * Nqz * Nw
     if variant == "omen":
         return 2.0 * full
-    if variant == "dace":
+    if variant in ("dace", "sdfg"):
+        # The sdfg variant executes the same transformed algorithm
+        # (generated from the optimized graph), so the model coincides.
         return full + unit * Nkz * NE
     raise ValueError(f"no flop model for variant {variant!r}")

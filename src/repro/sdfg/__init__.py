@@ -10,6 +10,15 @@ This package reimplements the subset of the Stateful Dataflow multiGraph
 * the graph transformations used in §4 of the paper.
 """
 
+from .backends import (
+    Backend,
+    BackendError,
+    SDFG_BACKENDS,
+    StageRunner,
+    default_backend,
+    get_backend,
+    register_backend,
+)
 from .graph import SDFG, ArrayDesc, InterstateEdge, InvalidSDFGError, SDFGState
 from .interpreter import ExecutionReport, Interpreter, execute
 from .memlet import Memlet
@@ -61,6 +70,13 @@ from .symbolic import (
 )
 
 __all__ = [
+    "Backend",
+    "BackendError",
+    "SDFG_BACKENDS",
+    "StageRunner",
+    "default_backend",
+    "get_backend",
+    "register_backend",
     "SDFG",
     "ArrayDesc",
     "InterstateEdge",

@@ -1,0 +1,66 @@
+"""Stage-execution helpers shared by every backend.
+
+A :class:`~repro.sdfg.pipeline.Stage` carries the layout permutations
+its pipeline accumulated (``input_perms``/``output_perm``); every
+backend presents the *original* layout to callers by permuting inputs on
+the way in and inverting the output permutation on the way out.  The
+helpers here implement that contract once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from ..graph import SDFG
+from ..nodes import AccessNode
+from ..transformations import apply_layout
+
+__all__ = ["written_arrays", "stage_output", "select_stage_inputs", "restore_output"]
+
+
+def written_arrays(sdfg: SDFG) -> List[str]:
+    """Non-transient arrays written in any state (the graph's outputs)."""
+    out: List[str] = []
+    for st in sdfg.states:
+        for _, v, d in st.edges():
+            if (
+                isinstance(v, AccessNode)
+                and d.get("memlet") is not None
+                and not sdfg.arrays[v.data].transient
+                and v.data not in out
+            ):
+                out.append(v.data)
+    return sorted(out)
+
+
+def stage_output(stage) -> str:
+    """The single written non-transient array of a stage (or raise)."""
+    outputs = written_arrays(stage.sdfg)
+    if len(outputs) != 1:
+        raise ValueError(
+            f"stage {stage.name!r} writes {outputs}; expected one output"
+        )
+    return outputs[0]
+
+
+def select_stage_inputs(
+    stage, arrays: Mapping[str, np.ndarray], output: str
+) -> Dict[str, np.ndarray]:
+    """Input arrays of a stage, permuted into the stage's layout."""
+    inputs = {
+        k: v
+        for k, v in arrays.items()
+        if k in stage.sdfg.arrays
+        and not stage.sdfg.arrays[k].transient
+        and k != output
+    }
+    return apply_layout(inputs, stage.input_perms)
+
+
+def restore_output(stage, result: np.ndarray) -> np.ndarray:
+    """Invert the stage's output permutation (back to original layout)."""
+    if stage.output_perm is not None:
+        result = np.transpose(result, np.argsort(stage.output_perm))
+    return result

@@ -1,0 +1,51 @@
+"""The interpreter execution backend.
+
+Wraps the reference :class:`~repro.sdfg.interpreter.Interpreter` behind
+the :class:`~repro.sdfg.backends.Backend` protocol: sequential-loop
+semantics, exact but slow — the oracle every generated backend is
+checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..interpreter import Interpreter
+from . import Backend, StageRunner
+from .common import restore_output, select_stage_inputs, stage_output
+
+__all__ = ["InterpreterBackend", "InterpreterStageRunner"]
+
+
+class InterpreterStageRunner(StageRunner):
+    """Executes one stage through a fresh :class:`Interpreter` per call."""
+
+    source = None
+
+    def __init__(self, stage):
+        self.stage = stage
+        self.output = stage_output(stage)
+
+    def __call__(
+        self,
+        dims: Mapping[str, int],
+        arrays: Mapping[str, np.ndarray],
+        tables: Optional[Mapping[str, np.ndarray]] = None,
+    ):
+        stage = self.stage
+        inputs = select_stage_inputs(stage, arrays, self.output)
+        interp = Interpreter(stage.sdfg)
+        store = interp.run(dims, inputs, tables=tables)
+        return restore_output(stage, store[self.output]), interp
+
+    def __repr__(self) -> str:
+        return f"InterpreterStageRunner({self.stage.name})"
+
+
+class InterpreterBackend(Backend):
+    name = "interpreter"
+
+    def compile_stage(self, stage) -> InterpreterStageRunner:
+        return InterpreterStageRunner(stage)

@@ -159,9 +159,13 @@ class SDFGState:
         # Innermost first == deepest nesting first: an entry nested inside
         # another appears in the other's scope, so sort by how many of the
         # chain's scopes contain each entry (more containers -> deeper).
+        # The membership pool must be a snapshot: list.sort() empties the
+        # list while running, so a key closing over ``chain`` itself would
+        # see an empty pool and leave insertion order untouched.
+        members = tuple(chain)
         chain.sort(
             key=lambda e: sum(
-                1 for o in chain if o is not e and e in sets[o]
+                1 for o in members if o is not e and e in sets[o]
             ),
             reverse=True,
         )

@@ -54,9 +54,24 @@ class Tasklet(Node):
     the input connectors and returning a dict keyed by output connectors.
     Inputs arrive as numpy views (point subsets squeezed to scalars/blocks);
     outputs are written back through the output memlets.
+
+    ``op`` is an optional *declarative* description of what ``code``
+    computes, consumed by code-generating execution backends
+    (:mod:`repro.sdfg.backends.codegen`); the interpreter ignores it.
+    Two forms are understood:
+
+    * an einsum-style equation over the memlets' **slice** (non-point)
+      dimensions, one subscript group per input connector in declaration
+      order, e.g. ``"xy,yz->xz"`` for a block matmul or ``"xy,->xy"``
+      for a scale-by-scalar — backends extend the equation with the
+      enclosing map parameters to vectorize whole scopes;
+    * the string ``"zero"`` for a no-input tasklet writing zeros.
+
+    A tasklet without ``op`` is still executable by every backend; code
+    generation simply falls back to a loop nest invoking ``code``.
     """
 
-    __slots__ = ("inputs", "outputs", "code", "flops")
+    __slots__ = ("inputs", "outputs", "code", "flops", "op")
 
     def __init__(
         self,
@@ -65,6 +80,7 @@ class Tasklet(Node):
         outputs: Sequence[str],
         code: Callable[..., Dict[str, object]],
         flops: Optional[Callable[..., int]] = None,
+        op: Optional[str] = None,
     ):
         super().__init__(label)
         self.inputs = tuple(inputs)
@@ -72,6 +88,7 @@ class Tasklet(Node):
         self.code = code
         # Optional flop-count model: callable(shapes dict) -> int
         self.flops = flops
+        self.op = op
 
     def __call__(self, **kwargs):
         return self.code(**kwargs)

@@ -280,7 +280,8 @@ class BatchPass(Pass):
         # reusable declaration, the graph owns what it attaches.
         proto = self.tasklet
         fresh = Tasklet(
-            proto.label, proto.inputs, proto.outputs, proto.code, proto.flops
+            proto.label, proto.inputs, proto.outputs, proto.code,
+            proto.flops, op=proto.op,
         )
 
         def clone(m: Memlet) -> Memlet:

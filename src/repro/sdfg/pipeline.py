@@ -11,9 +11,13 @@ The executable form of the paper's optimization workflow (§4):
   Fig. 7 derivation) and its access volume evaluated in bytes under
   concrete symbol bindings — :meth:`Pipeline.report` tabulates this per
   stage as a serializable :class:`PipelineReport`;
-* :meth:`Pipeline.compile` verifies every stage against a reference
-  kernel on concrete inputs and yields a :class:`CompiledPipeline` — an
-  interpreter-backed callable executing the final (optimized) graph.
+* :meth:`Pipeline.compile` lowers every stage through a pluggable
+  execution backend (:mod:`repro.sdfg.backends`: ``numpy`` code
+  generation by default, ``interpreter`` as the oracle; selectable via
+  the ``backend`` argument or ``REPRO_SDFG_BACKEND``), verifies each
+  stage against a reference kernel on concrete inputs, and yields a
+  :class:`CompiledPipeline` — a callable executing the final (optimized)
+  graph, with generated source attached for inspection.
 """
 
 from __future__ import annotations
@@ -35,14 +39,14 @@ from typing import (
 
 import numpy as np
 
+from .backends import StageRunner, get_backend
+from .backends.common import written_arrays as _written_arrays
 from .graph import SDFG
-from .interpreter import Interpreter
 from .memlet import Memlet
-from .nodes import AccessNode, Tasklet
+from .nodes import Tasklet
 from .passes import Pass, PassOutcome
 from .propagation import IndirectionHook, propagate_through_maps
 from .symbolic import Expr
-from .transformations import apply_layout
 
 __all__ = [
     "Stage",
@@ -256,52 +260,23 @@ def format_bytes(n: int) -> str:
 # -- stage execution -------------------------------------------------------------
 
 
-def _written_arrays(sdfg: SDFG) -> List[str]:
-    """Non-transient arrays written in any state (the graph's outputs)."""
-    out = []
-    for st in sdfg.states:
-        for _, v, d in st.edges():
-            if (
-                isinstance(v, AccessNode)
-                and d.get("memlet") is not None
-                and not sdfg.arrays[v.data].transient
-                and v.data not in out
-            ):
-                out.append(v.data)
-    return sorted(out)
-
-
 def run_stage(
     stage: Stage,
     dims: Mapping[str, int],
     arrays: Mapping[str, np.ndarray],
     tables: Optional[Mapping[str, np.ndarray]] = None,
-) -> Tuple[np.ndarray, Interpreter]:
-    """Execute one stage; returns the output in the *original* layout.
+    backend: str = "interpreter",
+):
+    """Execute one stage; returns ``(output, executed)``.
 
-    Inputs are permuted per the stage's accumulated layout
-    transformations; the (single) written non-transient array is
-    returned with its output permutation inverted.
+    The output comes back in the *original* layout (inputs are permuted
+    per the stage's accumulated layout transformations, the output
+    permutation is inverted), and ``executed.report`` carries the
+    :class:`~repro.sdfg.interpreter.ExecutionReport` — the interpreter
+    instance itself for ``backend="interpreter"`` (the default here, for
+    oracle runs), an analytic report for generated backends.
     """
-    outputs = _written_arrays(stage.sdfg)
-    if len(outputs) != 1:
-        raise ValueError(
-            f"stage {stage.name!r} writes {outputs}; expected one output"
-        )
-    inputs = {
-        k: v
-        for k, v in arrays.items()
-        if k in stage.sdfg.arrays
-        and not stage.sdfg.arrays[k].transient
-        and k not in outputs
-    }
-    inputs = apply_layout(inputs, stage.input_perms)
-    interp = Interpreter(stage.sdfg)
-    store = interp.run(dims, inputs, tables=tables)
-    result = store[outputs[0]]
-    if stage.output_perm is not None:
-        result = np.transpose(result, np.argsort(stage.output_perm))
-    return result, interp
+    return get_backend(backend).compile_stage(stage)(dims, arrays, tables)
 
 
 def verify_stage(
@@ -312,9 +287,13 @@ def verify_stage(
     reference: np.ndarray,
     rtol: float = 1e-10,
     atol: float = 1e-10,
+    runner: Optional[StageRunner] = None,
 ) -> float:
     """Compare a stage against a reference result; returns the max error."""
-    result, _ = run_stage(stage, dims, arrays, tables)
+    if runner is None:
+        result, _ = run_stage(stage, dims, arrays, tables)
+    else:
+        result, _ = runner(dims, arrays, tables)
     err = float(np.max(np.abs(result - reference)))
     if not np.allclose(result, reference, rtol=rtol, atol=atol):
         raise AssertionError(
@@ -452,13 +431,39 @@ class Pipeline:
         return self._cached_stages
 
     # -- analysis ----------------------------------------------------------------
+    def required_symbols(
+        self, stages: Optional[Sequence[Stage]] = None
+    ) -> Tuple[str, ...]:
+        """Symbol names :meth:`report` needs bound in its ``dims``:
+        the union of every stage graph's declared SDFG symbols."""
+        stages = self.stages() if stages is None else stages
+        out: Dict[str, None] = {}
+        for s in stages:
+            out.update(s.sdfg.symbols)
+        return tuple(out)
+
     def report(
         self,
         dims: Mapping[str, int],
         stages: Optional[Sequence[Stage]] = None,
     ) -> PipelineReport:
-        """Per-stage modeled data movement at the given dimensions."""
+        """Per-stage modeled data movement at the given dimensions.
+
+        ``dims`` must bind every symbol of :meth:`required_symbols`
+        (for the SSE recipe: ``Nkz NE Nqz Nw N3D NA NB Norb``); missing
+        bindings raise a :class:`ValueError` naming them up front
+        instead of surfacing as a ``KeyError`` deep in the volume
+        evaluation.  :meth:`CompiledPipeline.report` accepts the same
+        spellings.
+        """
         stages = self.stages() if stages is None else stages
+        missing = [s for s in self.required_symbols(stages) if s not in dims]
+        if missing:
+            raise ValueError(
+                f"pipeline {self.name!r}: report dims missing symbol "
+                f"bindings {missing}; required: "
+                f"{list(self.required_symbols(stages))}"
+            )
         hooks = self.hooks()
         movements = tuple(
             StageMovement(
@@ -481,19 +486,32 @@ class Pipeline:
         seed: int = 0,
         rtol: float = 1e-10,
         atol: float = 1e-10,
+        backend: Optional[str] = None,
     ) -> "CompiledPipeline":
-        """Apply the pipeline and wrap the final stage as a callable.
+        """Lower every stage through an execution backend and wrap the
+        final stage as a callable.
+
+        ``backend`` names a registered execution backend
+        (:data:`repro.sdfg.backends.SDFG_BACKENDS`: ``"numpy"`` generates
+        vectorized source, ``"interpreter"`` wraps the reference
+        interpreter); ``None`` defers to
+        :func:`repro.sdfg.backends.default_backend` — the
+        ``REPRO_SDFG_BACKEND`` environment variable, or ``numpy``.
+        Unknown names raise a
+        :class:`~repro.sdfg.backends.BackendError`.
 
         With ``verify_dims``, every stage (initial included) is executed
-        through the interpreter on random inputs of those dimensions and
-        checked against the pipeline's ``reference`` kernel to the given
-        tolerances, recording per-stage max errors.
+        *through the selected backend* on random inputs of those
+        dimensions and checked against the pipeline's ``reference``
+        kernel to the given tolerances, recording per-stage max errors.
 
         The compiled pipeline shares the cached stage snapshots
-        (interpretation never mutates the graphs); use :meth:`build` for
+        (execution never mutates the graphs); use :meth:`build` for
         snapshots you intend to modify.
         """
+        be = get_backend(backend)
         stages = self.stages()
+        runners = {s.name: be.compile_stage(s) for s in stages}
         verification: Optional[Dict[str, float]] = None
         if verify_dims is not None:
             if self.make_inputs is None or self.reference is None:
@@ -506,18 +524,20 @@ class Pipeline:
             verification = {
                 s.name: verify_stage(
                     s, dict(verify_dims), arrays, tables, ref,
-                    rtol=rtol, atol=atol,
+                    rtol=rtol, atol=atol, runner=runners[s.name],
                 )
                 for s in stages
             }
-        return CompiledPipeline(self, stages, verification)
+        return CompiledPipeline(self, stages, verification, be.name, runners)
 
 
 class CompiledPipeline:
     """The executable product of :meth:`Pipeline.compile`.
 
     Calling it runs the *final* (fully optimized) stage through the
-    interpreter; individual stages remain addressable for ablations.
+    backend the pipeline was compiled with; individual stages remain
+    addressable for ablations.  For code-generating backends the lowered
+    Python source is attached (:attr:`source`, :meth:`save_code`).
     """
 
     def __init__(
@@ -525,12 +545,20 @@ class CompiledPipeline:
         pipeline: Pipeline,
         stages: Sequence[Stage],
         verification: Optional[Dict[str, float]] = None,
+        backend: str = "interpreter",
+        runners: Optional[Dict[str, StageRunner]] = None,
     ):
         self.pipeline = pipeline
         self.stages = list(stages)
         self.by_name = {s.name: s for s in self.stages}
         #: per-stage max error vs the reference kernel (None: not verified)
         self.verification = verification
+        #: name of the execution backend every stage was lowered with
+        self.backend = backend
+        if runners is None:
+            be = get_backend(backend)
+            runners = {s.name: be.compile_stage(s) for s in self.stages}
+        self.runners = runners
 
     @property
     def final(self) -> Stage:
@@ -540,13 +568,33 @@ class CompiledPipeline:
     def verified(self) -> bool:
         return self.verification is not None
 
+    @property
+    def source(self) -> Optional[str]:
+        """Generated Python source of the final (optimized) stage, or
+        ``None`` for backends that interpret the graph directly."""
+        return self.runners[self.final.name].source
+
+    def save_code(self, path, stage: Optional[str] = None) -> str:
+        """Write a stage's generated source to ``path`` (default: final
+        stage); returns the text.  Raises for source-less backends."""
+        name = stage or self.final.name
+        text = self.runners[name].source
+        if text is None:
+            raise ValueError(
+                f"backend {self.backend!r} generates no source to save"
+            )
+        from pathlib import Path
+
+        Path(path).write_text(text)
+        return text
+
     def __call__(
         self,
         dims: Mapping[str, int],
         arrays: Mapping[str, np.ndarray],
         tables: Optional[Mapping[str, np.ndarray]] = None,
     ) -> np.ndarray:
-        result, _ = run_stage(self.final, dims, arrays, tables)
+        result, _ = self.runners[self.final.name](dims, arrays, tables)
         return result
 
     def run_stage(
@@ -555,15 +603,19 @@ class CompiledPipeline:
         dims: Mapping[str, int],
         arrays: Mapping[str, np.ndarray],
         tables: Optional[Mapping[str, np.ndarray]] = None,
-    ) -> Tuple[np.ndarray, Interpreter]:
-        return run_stage(self.by_name[name], dims, arrays, tables)
+    ):
+        """Execute one stage; returns ``(output, executed)`` where
+        ``executed.report`` is the stage's execution statistics."""
+        return self.runners[name](dims, arrays, tables)
 
     def report(self, dims: Mapping[str, int]) -> PipelineReport:
+        """Modeled data movement; same ``dims`` contract as
+        :meth:`Pipeline.report` (all stage symbols must be bound)."""
         return self.pipeline.report(dims, stages=self.stages)
 
     def __repr__(self) -> str:
         v = "verified" if self.verified else "unverified"
         return (
             f"CompiledPipeline({self.pipeline.name}, "
-            f"{len(self.stages)} stages, {v})"
+            f"{len(self.stages)} stages, backend={self.backend}, {v})"
         )

@@ -177,7 +177,7 @@ class MapFusion(Transformation):
             if mem.wcr is None:
                 continue
             init_mem = _init_memlet(sdfg, a, mem, fused.params)
-            t = Tasklet(f"init_{a}", [], ["out"], lambda: {"out": 0})
+            t = Tasklet(f"init_{a}", [], ["out"], lambda: {"out": 0}, op="zero")
             an_pre = AccessNode(a)
             state.add_node(t)
             state.add_node(an_pre)

@@ -478,5 +478,5 @@ class TestSessionCrossCheck:
     def test_cross_check_requires_dace_sse(self):
         plan = small_workload().compile(engine="batched")  # ballistic
         with Session(plan) as session:
-            with pytest.raises(RuntimeError, match="no dace SSE pipeline"):
+            with pytest.raises(RuntimeError, match="no dace/sdfg SSE pipeline"):
                 session.cross_check_sse()
