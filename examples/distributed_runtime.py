@@ -1,0 +1,91 @@
+"""Distributed SCBA: the rank-parallel Born loop with metered exchanges.
+
+Runs one dissipative workload three ways — the serial in-process loop,
+and the distributed runtime over 2 and 4 simulated ranks with both SSE
+communication schedules — then checks that every distributed result
+matches serial to <= 1e-10 and that the measured per-rank SSE bytes
+equal the closed-form §4.1 exchange models exactly.
+"""
+
+import numpy as np
+
+from repro.api import DeviceSpec, GridSpec, PhysicsSpec, Session, Workload
+from repro.model.communication import dace_exchange_stats, omen_exchange_stats
+from repro.negf.scba import SCBASettings, SCBASimulation
+from repro.parallel import CommStats
+
+
+def main():
+    workload = Workload(
+        name="distributed_runtime",
+        device=DeviceSpec(nx_cols=8, ny_rows=4, NB=6, slab_width=2, Norb=2),
+        grid=GridSpec(e_min=-1.5, e_max=1.5, NE=16, Nkz=2, Nqz=2, Nw=2),
+        physics=PhysicsSpec(
+            transport="scba", coupling=0.25, mixing=0.6,
+            max_iterations=3, tolerance=1e-12,
+        ),
+    )
+
+    # The compiled plan selects the rank decomposition and the SSE
+    # schedule (tile search over the §4.1 volume models).
+    plan = workload.compile(runtime="sim", ranks=4)
+    print(plan.describe())
+    print()
+
+    model = workload.device.build()
+    base = plan.groups[0].base_settings
+
+    with SCBASimulation(
+        model, SCBASettings(**{**base, "runtime": "serial"})
+    ) as sim:
+        reference = sim.run()
+
+    print("runtime  schedule  P   max|Δ| vs serial   SSE MiB   bytes==model")
+    for schedule in ("omen", "dace"):
+        for P in (2, 4):
+            settings = SCBASettings(
+                **{**base, "runtime": "sim", "ranks": P, "schedule": schedule}
+            )
+            with SCBASimulation(model, settings) as sim:
+                res = sim.run()
+                rt = sim._runtime
+                dev = model.structure
+                if schedule == "omen":
+                    per_iter = omen_exchange_stats(
+                        rt.gf_decomp, settings.Nqz, settings.Nw,
+                        dev.NA, dev.NB, model.Norb, model.N3D,
+                    )
+                else:
+                    per_iter = dace_exchange_stats(
+                        rt.gf_decomp, rt.sse_decomp, dev.neighbors,
+                        settings.Nqz, settings.Nw, model.Norb, model.N3D,
+                    )
+                measured = sim.last_comm["sse"]
+                matched = measured.matches(
+                    per_iter.scaled(rt.n_sse_iterations)
+                )
+                max_dev = max(
+                    float(np.max(np.abs(res.Gl - reference.Gl))),
+                    float(np.max(np.abs(res.Sigma_l - reference.Sigma_l))),
+                )
+                assert max_dev <= 1e-10 and matched
+                print(
+                    f"sim      {schedule:8s} {P}   {max_dev:.3e}          "
+                    f"{measured.total_bytes / 2**20:7.2f}   {matched}"
+                )
+
+    # The facade path: sessions report the per-rank CommStats per point.
+    with Session(plan) as session:
+        run = session.run()[0]
+    sse = CommStats.from_dict(run.comm["sse"])
+    print()
+    print(
+        f"session run: converged={run.converged} after {run.iterations} "
+        f"iteration(s); SSE exchange moved {sse.total_bytes / 2**20:.2f} MiB "
+        f"over {sse.P} ranks (max {sse.max_per_rank() / 2**20:.2f} MiB/rank)"
+    )
+    print("distributed runtime sane: all schedules match serial <= 1e-10")
+
+
+if __name__ == "__main__":
+    main()

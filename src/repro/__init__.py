@@ -18,7 +18,12 @@ Packages
     open boundaries, the recursive Green's function solver, scattering
     self-energies, and the self-consistent Born (GF <-> SSE) loop.
 ``repro.parallel``
-    A simulated-MPI runtime with the OMEN and DaCe communication schedules.
+    Simulated MPI, data decompositions, and the OMEN/DaCe SSE
+    communication schedules as resident exchange objects.
+``repro.runtime``
+    The distributed SCBA runtime: a rank-parallel Born loop executing the
+    SSE schedules in-loop over pluggable transports (in-process ``sim``
+    with bit-exact byte accounting, forked-process ``pipe``).
 ``repro.model``
     Machine, performance (flop), communication-volume, and scaling models
     reproducing the paper's Tables 3-5, 8 and Fig. 13.

@@ -33,7 +33,16 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..config import EXECUTION_BACKENDS, SimulationParameters, validate_parameters
+from ..config import (
+    EXECUTION_BACKENDS,
+    RUNTIMES,
+    SSE_SCHEDULES,
+    SimulationParameters,
+    default_runtime,
+    validate_parameters,
+)
+from ..model.communication import omen_comm_total_bytes
+from ..model.distribution import search_tiling
 from ..model.performance import iteration_flops
 from ..parallel.decomposition import partition_spectral_grid
 from ..sdfg.pipeline import PipelineReport
@@ -172,6 +181,15 @@ class Plan:
     cost: PlanCost
     #: per-group (P, chunk) rank decomposition for the multiprocess engine
     decomposition: Optional[Tuple[Dict[str, int], ...]] = None
+    #: SCBA execution runtime: ``serial`` in-process loop, or ``sim`` /
+    #: ``pipe`` for the rank-parallel distributed Born loop
+    runtime: str = "serial"
+    #: requested rank budget for the distributed runtime (None: auto)
+    ranks: Optional[int] = None
+    #: per-group distributed-runtime selection: rank decomposition
+    #: (P = Nkz x E-chunks) and SSE schedule — for the ``dace`` schedule
+    #: the (TE, TA) tiling found by the §4.1 exhaustive tile search
+    runtime_plan: Optional[Tuple[Dict[str, Any], ...]] = None
     #: per-stage modeled data movement of the Fig. 8 → 12 dace/sdfg SSE
     #: pipeline, evaluated at the planned (peak-group) dimensions
     sse_report: Optional[PipelineReport] = None
@@ -217,6 +235,10 @@ class Plan:
             f"(cache_boundary={self.cache_boundary}, "
             f"cache_operators={self.cache_operators})",
         ]
+        if self.runtime != "serial":
+            lines.append(
+                f"  runtime: {self.runtime} (rank-parallel Born loop)"
+            )
         for gi, g in enumerate(self.groups):
             p = g.parameters
             lines.append(
@@ -228,6 +250,15 @@ class Plan:
                 lines.append(
                     f"    decomposition: P={d['P']} ranks, "
                     f"E-chunk={d['chunk']}"
+                )
+            if self.runtime_plan is not None:
+                r = self.runtime_plan[gi]
+                tiling = (
+                    f", TE={r['TE']} TA={r['TA']}" if "TE" in r else ""
+                )
+                lines.append(
+                    f"    runtime: P={r['P']} ranks, E-chunk={r['chunk']}, "
+                    f"{r['schedule']} schedule{tiling}"
                 )
         c = self.cost
         lines.append(
@@ -284,6 +315,13 @@ class Plan:
                 if self.decomposition is not None
                 else None
             ),
+            "runtime": self.runtime,
+            "ranks": self.ranks,
+            "runtime_plan": (
+                [dict(d) for d in self.runtime_plan]
+                if self.runtime_plan is not None
+                else None
+            ),
             "sse_recipe": [list(s) for s in self.sse_recipe],
             "sse_movement": (
                 self.sse_report.to_dict()
@@ -296,6 +334,54 @@ class Plan:
         return json.dumps(self.to_dict(), **kwargs)
 
 
+def _plan_runtime_group(
+    exec_params: SimulationParameters,
+    ranks: Optional[int],
+    schedule: Optional[str],
+) -> Dict[str, Any]:
+    """Select one group's rank decomposition (and tiling) for the runtime.
+
+    The GF layout is the largest ``P = Nkz x E-chunks`` within the rank
+    budget; the schedule — when not forced — is chosen by comparing the
+    §4.1 closed-form volumes at that P, with the DaCe tiling taken from
+    the exhaustive :func:`~repro.model.distribution.search_tiling`
+    (restricted to divisor tilings, which the executable decomposition
+    requires).
+    """
+    if ranks is not None and ranks < exec_params.Nkz:
+        raise ValueError(
+            f"ranks={ranks} is below the minimum of one rank per momentum "
+            f"point (Nkz={exec_params.Nkz})"
+        )
+    budget = ranks or min(8, os.cpu_count() or 1)
+    gf = partition_spectral_grid(
+        exec_params.Nkz, exec_params.NE, max(budget, exec_params.Nkz)
+    )
+    entry: Dict[str, Any] = {
+        "P": gf.P, "chunk": gf.chunk, "n_chunks": gf.n_chunks,
+    }
+    tiling = None
+    try:
+        tiling = search_tiling(exec_params, gf.P, divisors_only=True)
+    except ValueError:
+        if schedule == "dace":
+            raise PlanError(
+                f"no divisor (TE, TA) tiling of P={gf.P} for the dace "
+                f"schedule (NE={exec_params.NE}, NA={exec_params.NA})"
+            ) from None
+    if schedule is None:
+        omen_vol = omen_comm_total_bytes(exec_params, gf.P)
+        schedule = (
+            "dace"
+            if tiling is not None and tiling.total_bytes < omen_vol
+            else "omen"
+        )
+    entry["schedule"] = schedule
+    if schedule == "dace":
+        entry["TE"], entry["TA"] = tiling.TE, tiling.TA
+    return entry
+
+
 def compile_workload(
     workload: Workload,
     engine: Optional[str] = None,
@@ -303,6 +389,9 @@ def compile_workload(
     cache_operators: bool = True,
     max_workers: Optional[int] = None,
     sse_backend: Optional[str] = None,
+    runtime: Optional[str] = None,
+    ranks: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> Plan:
     """Compile a workload: validate, select execution, group for reuse.
 
@@ -310,6 +399,15 @@ def compile_workload(
     when the workload's physics asks for ``sse_variant="sdfg"``
     (``"numpy"`` generated code / ``"interpreter"``; ``None`` follows
     ``REPRO_SDFG_BACKEND``).  Unknown names raise a :class:`PlanError`.
+
+    ``runtime`` selects the SCBA execution tier: ``"serial"`` (the
+    in-process Born loop) or the rank-parallel distributed runtime over
+    ``"sim"``/``"pipe"`` transports (``None`` follows ``REPRO_RUNTIME``).
+    For distributed runtimes, ``ranks`` bounds the rank count (largest
+    valid ``Nkz x E-chunks`` decomposition is used) and ``schedule``
+    forces the SSE communication schedule; ``schedule=None`` picks the
+    volume-minimizing one per group via the §4.1 models and the
+    exhaustive tile search.
     """
     points = workload.sweep_points()
 
@@ -329,6 +427,24 @@ def compile_workload(
         except BackendError as exc:
             raise PlanError(f"invalid sse_backend: {exc}") from exc
 
+    # -- runtime selection ------------------------------------------------------
+    if runtime is None:
+        try:
+            runtime = default_runtime()
+        except ValueError as exc:
+            raise PlanError(str(exc)) from exc
+    if runtime not in RUNTIMES:
+        raise PlanError(
+            f"unknown runtime {runtime!r}; expected one of {RUNTIMES}"
+        )
+    if schedule is not None and schedule not in SSE_SCHEDULES:
+        raise PlanError(
+            f"unknown SSE schedule {schedule!r}; "
+            f"expected one of {SSE_SCHEDULES}"
+        )
+    if ranks is not None and ranks < 1:
+        raise PlanError(f"ranks={ranks} must be positive")
+
     # -- group sweep points by structural settings ------------------------------
     dev = workload.device
     grouped: Dict[Tuple, List] = {}
@@ -337,6 +453,7 @@ def compile_workload(
         grouped.setdefault(key, []).append(pt)
 
     groups: List[PlanGroup] = []
+    runtime_plan: List[Dict[str, Any]] = []
     for key, members in grouped.items():
         base = dict(members[0].settings)
         base["engine"] = engine
@@ -357,6 +474,29 @@ def compile_workload(
                 )
         except ValueError as exc:
             raise PlanError(f"workload {workload.name!r}: {exc}") from exc
+        base["runtime"] = runtime
+        base["ranks"] = None
+        base["schedule"] = schedule or "omen"
+        if runtime != "serial":
+            # The runtime executes the *device* structure, which may
+            # differ from a paper-parameter planning override.
+            try:
+                exec_params = (
+                    params
+                    if workload.parameters is None
+                    else validate_parameters(
+                        NA=dev.NA, NB=dev.NB, Norb=dev.Norb, N3D=3,
+                        bnum=dev.bnum, **grid_kw,
+                    )
+                )
+                entry = _plan_runtime_group(exec_params, ranks, schedule)
+            except ValueError as exc:
+                raise PlanError(
+                    f"workload {workload.name!r} runtime plan: {exc}"
+                ) from exc
+            base["ranks"] = entry["P"]
+            base["schedule"] = entry["schedule"]
+            runtime_plan.append(entry)
         groups.append(
             PlanGroup(
                 key=key,
@@ -440,4 +580,7 @@ def compile_workload(
         decomposition=decomposition,
         sse_report=sse_report,
         sse_backend=sse_backend,
+        runtime=runtime,
+        ranks=ranks,
+        runtime_plan=tuple(runtime_plan) if runtime_plan else None,
     )

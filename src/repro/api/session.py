@@ -54,6 +54,9 @@ class RunResult:
     total_dissipation: float
     elapsed_seconds: float
     result: Optional[SCBAResult] = None
+    #: per-phase per-rank communication accounting of a distributed run
+    #: ({"sse"/"residual"/"gather": CommStats dict}; None for serial runs)
+    comm: Optional[Dict[str, Any]] = None
 
     @property
     def total_current_left(self) -> float:
@@ -67,6 +70,7 @@ class RunResult:
     def from_scba(
         cls, index: int, coords: Dict[str, float], res: SCBAResult,
         elapsed: float, keep_arrays: bool = True,
+        comm: Optional[Dict[str, Any]] = None,
     ) -> "RunResult":
         return cls(
             index=index,
@@ -78,6 +82,7 @@ class RunResult:
             total_dissipation=float(res.dissipation.sum()),
             elapsed_seconds=elapsed,
             result=res if keep_arrays else None,
+            comm=comm,
         )
 
     def to_dict(self, include_arrays: bool = False) -> Dict[str, Any]:
@@ -91,6 +96,8 @@ class RunResult:
             "total_dissipation": self.total_dissipation,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.comm is not None:
+            out["comm"] = {k: dict(v) for k, v in self.comm.items()}
         if include_arrays and self.result is not None:
             out["result"] = self.result.to_dict()
         return out
@@ -108,6 +115,7 @@ class RunResult:
             total_dissipation=d["total_dissipation"],
             elapsed_seconds=d.get("elapsed_seconds", 0.0),
             result=SCBAResult.from_dict(res) if res is not None else None,
+            comm=d.get("comm"),
         )
 
 
@@ -288,8 +296,13 @@ class Session:
         t0 = time.perf_counter()
         res = sim.run(ballistic=self.plan.ballistic)
         elapsed = time.perf_counter() - t0
+        comm = None
+        if sim.last_comm:
+            comm = {
+                phase: stats.to_dict() for phase, stats in sim.last_comm.items()
+            }
         return RunResult.from_scba(
-            index, coords, res, elapsed, keep_arrays=keep_arrays
+            index, coords, res, elapsed, keep_arrays=keep_arrays, comm=comm
         )
 
     # -- verification --------------------------------------------------------------
@@ -366,10 +379,11 @@ class Session:
         """Aggregated boundary-solve/hit and operator-assembly counters.
 
         Boundary counters are exact for every backend (the multiprocess
-        engine routes all solves through the parent's shared cache).  The
+        engine routes all solves through the parent's shared cache, and
+        the distributed runtime sums its resident per-rank caches).  The
         assembly counters cover the parent process only: multiprocess
-        pool workers additionally assemble operators on their own forked
-        model copies (once per momentum per worker), which the parent's
+        pool workers and distributed rank workers additionally assemble
+        operators on their own grids, which the parent's
         ``assembly_counts`` cannot observe.  After :meth:`close` the
         counters frozen at shutdown are returned.
         """
@@ -382,11 +396,11 @@ class Session:
             "boundary_ph_hits": 0,
         }
         for sim in self._sims.values():
-            cache = sim.engine.boundary
-            out["boundary_el_solves"] += cache.el_solves
-            out["boundary_el_hits"] += cache.el_hits
-            out["boundary_ph_solves"] += cache.ph_solves
-            out["boundary_ph_hits"] += cache.ph_hits
+            counters = sim.boundary_counters()
+            out["boundary_el_solves"] += counters["el_solves"]
+            out["boundary_el_hits"] += counters["el_hits"]
+            out["boundary_ph_solves"] += counters["ph_solves"]
+            out["boundary_ph_hits"] += counters["ph_hits"]
         if self._model is not None:
             out.update(
                 {

@@ -15,7 +15,10 @@ from typing import Dict, Tuple
 __all__ = [
     "PARAMETER_RANGES",
     "EXECUTION_BACKENDS",
+    "RUNTIMES",
+    "SSE_SCHEDULES",
     "default_engine",
+    "default_runtime",
     "validate_parameters",
     "SimulationParameters",
     "PAPER_STRUCTURE_4864",
@@ -44,6 +47,37 @@ def default_engine() -> str:
         raise ValueError(
             f"REPRO_ENGINE={env!r} is not a valid backend; "
             f"expected one of {EXECUTION_BACKENDS}"
+        )
+    return env
+
+
+#: SCBA execution runtimes (``repro.runtime``): ``serial`` runs the
+#: in-process Born loop of ``SCBASimulation``; ``sim`` distributes it over
+#: simulated ranks (in-process, byte-exact communication accounting);
+#: ``pipe`` hosts each rank in a forked worker process connected through
+#: ``multiprocessing`` pipes (real inter-process data movement).
+RUNTIMES: Tuple[str, ...] = ("serial", "sim", "pipe")
+
+#: SSE communication schedules the distributed runtime can execute
+#: (paper §4.1): OMEN's per-(qz, ω) broadcast rounds or the
+#: communication-avoiding DaCe ``TE x TA`` tile exchange.
+SSE_SCHEDULES: Tuple[str, ...] = ("omen", "dace")
+
+
+def default_runtime() -> str:
+    """Runtime used when ``SCBASettings.runtime`` is not set.
+
+    Overridable through the ``REPRO_RUNTIME`` environment variable (an
+    explicitly set but unknown value raises, mirroring ``REPRO_ENGINE``);
+    the built-in default is ``serial``.
+    """
+    env = os.environ.get("REPRO_RUNTIME", "").strip().lower()
+    if not env:
+        return "serial"
+    if env not in RUNTIMES:
+        raise ValueError(
+            f"REPRO_RUNTIME={env!r} is not a valid runtime; "
+            f"expected one of {RUNTIMES}"
         )
     return env
 

@@ -53,18 +53,27 @@ def search_tiling(
     P: int,
     max_TE: Optional[int] = None,
     max_TA: Optional[int] = None,
+    divisors_only: bool = False,
 ) -> Tiling:
     """Exhaustively search the feasible (TE, TA) factorizations of P.
 
     Feasibility: a tile must contain at least one energy point and one
     atom (``TE <= NE``, ``TA <= NA``), and may be further constrained by
     the caller (e.g. whole RGF blocks per atom tile).
+
+    ``divisors_only=True`` additionally requires ``TE | NE`` and
+    ``TA | NA`` — the executable
+    :class:`~repro.parallel.decomposition.DaceDecomposition` of the
+    distributed runtime tiles without remainders, so its tile search runs
+    in this mode.
     """
     max_TE = min(max_TE or p.NE, p.NE)
     max_TA = min(max_TA or p.NA, p.NA)
     best: Optional[Tiling] = None
     for TE, TA in factor_pairs(P):
         if TE > max_TE or TA > max_TA:
+            continue
+        if divisors_only and (p.NE % TE or p.NA % TA):
             continue
         vol = dace_comm_total_bytes(p, TE, TA)
         if best is None or vol < best.total_bytes:
@@ -73,6 +82,7 @@ def search_tiling(
         raise ValueError(
             f"no feasible (TE, TA) factorization of P={P} with "
             f"TE<={max_TE}, TA<={max_TA}"
+            + (" dividing NE/NA evenly" if divisors_only else "")
         )
     return best
 

@@ -39,7 +39,7 @@ from typing import Any, Dict, List, Literal, Optional
 
 import numpy as np
 
-from ..config import default_engine
+from ..config import default_engine, default_runtime
 from .engine import SpectralGrid, bose, fermi, make_engine
 from .hamiltonian import HamiltonianModel
 from .sse import pi_sse, preprocess_phonon_green, retarded_from_lesser_greater, sigma_sse
@@ -52,6 +52,8 @@ __all__ = [
     "bose",
     "encode_array",
     "decode_array",
+    "density_observable",
+    "dissipation_observable",
 ]
 
 
@@ -102,6 +104,18 @@ class SCBASettings:
     cache_operators: bool = True
     #: worker-pool size cap for the multiprocess engine (None: min(8, cores))
     max_workers: Optional[int] = None
+    #: SCBA execution runtime (see :mod:`repro.runtime`): ``serial`` is
+    #: the in-process Born loop below; ``sim``/``pipe`` distribute it over
+    #: ranks exchanging G≷/Π≷ through an SSE schedule (default follows
+    #: ``REPRO_RUNTIME``, invalid values raise)
+    runtime: Literal["serial", "sim", "pipe"] = field(
+        default_factory=default_runtime
+    )
+    #: rank count of the distributed runtime (None: one rank per kz);
+    #: must decompose the (Nkz, NE) grid (P = Nkz x E-chunks)
+    ranks: Optional[int] = None
+    #: SSE communication schedule of the distributed runtime (§4.1)
+    schedule: Literal["omen", "dace"] = "omen"
 
 
 @dataclass
@@ -161,6 +175,35 @@ class SCBAResult:
         return cls(**kwargs)
 
 
+def density_observable(Gl: np.ndarray, dE: float, Nkz: int) -> np.ndarray:
+    """Per-atom electron density: -i ∫ tr G< dE / 2π (summed over kz).
+
+    Shared by the serial simulation and the distributed runtime so both
+    paths evaluate the observable identically on the assembled tensors.
+    """
+    tr = np.trace(Gl, axis1=-2, axis2=-1)  # [Nkz, NE, NA]
+    return (-1j * tr.sum(axis=(0, 1)) * dE / (2 * np.pi)).real / max(Nkz, 1)
+
+
+def dissipation_observable(
+    Gl: np.ndarray,
+    Gg: np.ndarray,
+    Sl: Optional[np.ndarray],
+    Sg: Optional[np.ndarray],
+    energies: np.ndarray,
+    dE: float,
+    Nkz: int,
+) -> np.ndarray:
+    """Per-atom electron->phonon power: ∫ E tr[Σ< G> - Σ> G<] dE."""
+    if Sl is None:
+        return np.zeros(Gl.shape[2])
+    x = np.einsum(
+        "kEaij,kEaji->kEa", Sl, Gg, optimize=True
+    ) - np.einsum("kEaij,kEaji->kEa", Sg, Gl, optimize=True)
+    w = energies[None, :, None]
+    return (x * w).sum(axis=(0, 1)).real * dE / (2 * np.pi) / max(Nkz, 1)
+
+
 def encode_array(a: np.ndarray) -> Dict[str, Any]:
     """Encode an ndarray as a JSON-safe dict (complex -> real/imag lists)."""
     a = np.asarray(a)
@@ -210,11 +253,28 @@ class SCBASimulation:
         #: what ``run()`` does when ``ballistic`` is not passed; set from
         #: the workload's ``PhysicsSpec.transport`` by :meth:`from_workload`
         self.default_ballistic = False
+        #: resident distributed runtime (built lazily when
+        #: ``settings.runtime != "serial"``; reused across sweep points)
+        self._runtime = None
+        #: per-phase :class:`~repro.parallel.CommStats` of the last
+        #: distributed run (None for serial runs)
+        self.last_comm = None
+        #: runtime rank-cache counters frozen at :meth:`close`
+        self._final_runtime_counters: Optional[Dict[str, int]] = None
 
     # -- lifetime -----------------------------------------------------------------
     def close(self):
-        """Release engine resources (worker pools) deterministically."""
+        """Release engine resources (worker pools) deterministically.
+
+        The distributed runtime's per-rank boundary counters are
+        snapshotted first, so :meth:`boundary_counters` keeps reporting
+        them after the workers are gone.
+        """
         self.engine.close()
+        if self._runtime is not None:
+            self._final_runtime_counters = self._runtime.boundary_counters()
+            self._runtime.close()
+            self._runtime = None
 
     def __enter__(self) -> "SCBASimulation":
         return self
@@ -242,6 +302,47 @@ class SCBASimulation:
         sim = cls(model, SCBASettings(**plan.groups[0].point_settings(0)))
         sim.default_ballistic = plan.ballistic
         return sim
+
+    # -- distributed execution -----------------------------------------------------
+    def _run_distributed(self, ballistic: bool) -> "SCBAResult":
+        """Delegate the Born loop to the rank-parallel runtime.
+
+        The runtime (and its resident rank workers with their per-rank
+        boundary caches) is built on first use and reused by every later
+        ``run()`` — a Session sweep mutating bias/temperature fields
+        between points keeps all rank-local caches warm.
+        """
+        if self._runtime is None:
+            from ..runtime import DistributedSCBARuntime  # layered above negf
+
+            self._runtime = DistributedSCBARuntime(self.model, self.s)
+        result = self._runtime.run(ballistic=ballistic)
+        self.last_comm = self._runtime.comm_stats()
+        return result
+
+    def boundary_counters(self) -> Dict[str, int]:
+        """Boundary solve/hit counters across every execution path.
+
+        Serial/batched/multiprocess engines count in the in-process
+        :class:`~repro.negf.engine.BoundaryCache`; the distributed
+        runtime additionally sums its per-rank caches.
+        """
+        cache = self.engine.boundary
+        out = {
+            "el_solves": cache.el_solves,
+            "el_hits": cache.el_hits,
+            "ph_solves": cache.ph_solves,
+            "ph_hits": cache.ph_hits,
+        }
+        runtime_counters = (
+            self._runtime.boundary_counters()
+            if self._runtime is not None
+            else self._final_runtime_counters
+        )
+        if runtime_counters is not None:
+            for key, value in runtime_counters.items():
+                out[key] += value
+        return out
 
     # -- GF phases (delegated to the execution engine) ---------------------------
     def solve_electrons(
@@ -300,22 +401,11 @@ class SCBASimulation:
 
     # -- observables --------------------------------------------------------------
     def _density(self, Gl) -> np.ndarray:
-        """Per-atom electron density: -i ∫ tr G< dE / 2π (summed over kz)."""
-        tr = np.trace(Gl, axis1=-2, axis2=-1)  # [Nkz, NE, NA]
-        return (-1j * tr.sum(axis=(0, 1)) * self.dE / (2 * np.pi)).real / max(
-            self.s.Nkz, 1
-        )
+        return density_observable(Gl, self.dE, self.s.Nkz)
 
     def _dissipation(self, Gl, Gg, Sl, Sg) -> np.ndarray:
-        """Per-atom electron->phonon power: ∫ E tr[Σ< G> - Σ> G<] dE."""
-        if Sl is None:
-            return np.zeros(self.NA)
-        x = np.einsum(
-            "kEaij,kEaji->kEa", Sl, Gg, optimize=True
-        ) - np.einsum("kEaij,kEaji->kEa", Sg, Gl, optimize=True)
-        w = self.energies[None, :, None]
-        return (
-            (x * w).sum(axis=(0, 1)).real * self.dE / (2 * np.pi) / max(self.s.Nkz, 1)
+        return dissipation_observable(
+            Gl, Gg, Sl, Sg, self.energies, self.dE, self.s.Nkz
         )
 
     # -- driver ------------------------------------------------------------------
@@ -328,6 +418,8 @@ class SCBASimulation:
         """
         if ballistic is None:
             ballistic = self.default_ballistic
+        if getattr(self.s, "runtime", "serial") != "serial":
+            return self._run_distributed(ballistic)
         s = self.s
         Sl = Sg = Sr = None
         Pl = Pg = Pr = None

@@ -5,7 +5,16 @@ from .decomposition import (
     OmenDecomposition,
     partition_spectral_grid,
 )
-from .schedules import DistributedSSEResult, dace_sse_phase, omen_sse_phase
+from .schedules import (
+    DaceExchange,
+    DistributedSSEResult,
+    LocalTransport,
+    OmenExchange,
+    RankSSEStore,
+    dace_sse_phase,
+    default_round_owner,
+    omen_sse_phase,
+)
 from .simmpi import CommStats, SimComm
 
 __all__ = [
@@ -13,6 +22,11 @@ __all__ = [
     "OmenDecomposition",
     "partition_spectral_grid",
     "DistributedSSEResult",
+    "RankSSEStore",
+    "LocalTransport",
+    "OmenExchange",
+    "DaceExchange",
+    "default_round_owner",
     "dace_sse_phase",
     "omen_sse_phase",
     "CommStats",

@@ -3,12 +3,24 @@
 Both schedules move the *actual* Green's-function data between per-rank
 stores and compute the *actual* scattering self-energies, so their results
 are directly comparable (bit-level, up to float summation order) with the
-serial kernels of :mod:`repro.negf.sse` while
-:class:`~repro.parallel.simmpi.SimComm` meters every transferred byte.
+serial kernels of :mod:`repro.negf.sse` while every transferred byte is
+metered (see ``tests/test_parallel.py``).
+
+The schedules are *resident exchange objects* — :class:`OmenExchange` and
+:class:`DaceExchange` hold the decomposition, the communication plan, and
+the phonon-row ownership map, and execute one Σ≷/Π≷ exchange per call
+against per-rank :class:`RankSSEStore` stores reached through a transport
+(``call``/``call_all``/``charge``).  This is what lets the distributed
+SCBA runtime (:mod:`repro.runtime`) run the exchange *inside* the Born
+loop, including the Π≷/D≷ feedback path: Π≷ rows are reduced to their
+(qz, ω) owners, which solve the phonon Green's functions feeding the next
+iteration's rounds.  The one-shot :func:`omen_sse_phase` /
+:func:`dace_sse_phase` entry points are thin wrappers instantiating the
+exchange over array-backed stores.
 
 **OMEN schedule** — ``Nqz*Nw`` rounds; in each round the phonon GF
-``D≷(qz, ω)`` is broadcast, every rank receives the shifted electron GF
-windows ``G≷(E∓ω, kz-qz)`` it needs (4 windows: lesser/greater x
+``D≷(qz, ω)`` is broadcast from its owner, every rank receives the
+shifted electron GF windows ``G≷(E∓ω, kz-qz)`` it needs (lesser/greater x
 emission/absorption — the paper's "replicated 2·Nqz·Nω times"), computes
 its Σ contribution locally, and the partial ``Π≷(qz, ω)`` are reduced to
 their owner.
@@ -17,7 +29,8 @@ their owner.
 GF layout (momentum x energy) into ``TE x TA`` tiles with ``±Nω`` energy
 halo and neighbor-closure atom halo; each rank runs the transformed
 (∇H·G-reuse) kernel on its tile; Σ≷ tiles return with a second
-``alltoallv`` and Π≷ partials are reduced.
+``alltoallv`` and Π≷ partials (restricted to each rank's atom tile) are
+reduced to the row owners.
 
 Physics conventions follow :func:`repro.negf.sse.sigma_sse`: zero-padded
 energy axis, periodic momentum, emission+absorption pairing
@@ -27,14 +40,23 @@ energy axis, periodic momentum, emission+absorption pairing
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .decomposition import DaceDecomposition, OmenDecomposition
 from .simmpi import CommStats, SimComm
 
-__all__ = ["DistributedSSEResult", "omen_sse_phase", "dace_sse_phase"]
+__all__ = [
+    "DistributedSSEResult",
+    "RankSSEStore",
+    "LocalTransport",
+    "OmenExchange",
+    "DaceExchange",
+    "default_round_owner",
+    "omen_sse_phase",
+    "dace_sse_phase",
+]
 
 
 @dataclass
@@ -46,6 +68,16 @@ class DistributedSSEResult:
     Pi_l: np.ndarray
     Pi_g: np.ndarray
     stats: CommStats
+
+
+def default_round_owner(Nw: int, P: int) -> Callable[[int, int], int]:
+    """Round-robin ownership of the (qz, ω) phonon rows: ``(q*Nw + w) % P``.
+
+    The owner broadcasts ``D≷(qz, ω)`` in its OMEN round, receives the
+    reduced ``Π≷(qz, ω)``, and — in the distributed runtime — solves that
+    row's phonon Green's function for the next Born iteration.
+    """
+    return lambda q, w: (q * Nw + w) % P
 
 
 def _hd(Dc_qw: np.ndarray, dH: np.ndarray) -> np.ndarray:
@@ -90,195 +122,194 @@ def _pi_contrib(
 
 
 # --------------------------------------------------------------------------
-# OMEN schedule
+# Per-rank store: shard state + the rank-local SSE compute steps
 # --------------------------------------------------------------------------
-def omen_sse_phase(
-    comm: SimComm,
-    decomp: OmenDecomposition,
-    Gl: np.ndarray,
-    Gg: np.ndarray,
-    dH: np.ndarray,
-    Dcl: np.ndarray,
-    Dcg: np.ndarray,
-    neigh: np.ndarray,
-    rev: np.ndarray,
-) -> DistributedSSEResult:
-    """The momentum x energy decomposition with per-(qz, ω) rounds."""
-    Nkz, NE, NA, No, _ = Gl.shape
-    Nqz, Nw, _, NB = Dcl.shape[:4]
-    P = comm.P
+class RankSSEStore:
+    """One rank's G≷/D≷ shard plus the SSE compute steps of the schedules.
 
-    Sigma_l = np.zeros_like(Gl)
-    Sigma_g = np.zeros_like(Gg)
-    Pi_shape = (Nqz, Nw, NA, NB + 1, dH.shape[2], dH.shape[2])
-    Pi_l = np.zeros(Pi_shape, dtype=np.complex128)
-    Pi_g = np.zeros(Pi_shape, dtype=np.complex128)
-    dH_ba = dH[neigh, rev]
+    The exchange objects talk to ranks exclusively through this protocol
+    (via a transport's ``call``), so the same schedule logic drives both
+    the one-shot array-backed stores below and the resident
+    :class:`repro.runtime.RankWorker` processes of the distributed SCBA
+    loop.
 
-    for q in range(Nqz):
-        for w in range(Nw):
-            round_idx = q * Nw + w
-            d_owner = round_idx % P
-            # Broadcast the phonon GF of this round (both ≷ components).
-            d_pack = np.stack([Dcl[q, w], Dcg[q, w]])
-            d_copies = comm.bcast(d_owner, d_pack)
+    Shard layout: the rank owns the ``(k, esl)`` electron rows of an
+    :class:`~repro.parallel.decomposition.OmenDecomposition`
+    (``Gl``/``Gg`` of shape ``[nE_local, NA, No, No]``) and the combined
+    phonon rows ``Dc[(q, w)] = [2, NA, NB, N3D, N3D]`` assigned by the
+    round-owner map.
+    """
 
-            pi_l_parts: List[np.ndarray] = []
-            pi_g_parts: List[np.ndarray] = []
-            for rank in range(P):
-                k, _ = decomp.coords(rank)
-                esl = decomp.energy_slice(rank)
-                ks = (k - q) % Nkz
-                hd_l = _hd(d_copies[rank][0], dH)
-                hd_g = _hd(d_copies[rank][1], dH)
+    def __init__(
+        self,
+        rank: int,
+        k: int,
+        esl: slice,
+        NE: int,
+        dH: np.ndarray,
+        neigh: np.ndarray,
+        rev: np.ndarray,
+    ):
+        self.rank = rank
+        self.k = k
+        self.esl = esl
+        self.NE = NE
+        self.dH = dH
+        self.neigh = neigh
+        self.rev = rev
+        self.dH_ba = dH[neigh, rev]
+        self.NA, self.NB = neigh.shape
+        self.N3D = dH.shape[2]
+        self.Norb = dH.shape[-1]
+        #: electron shard [nE_local, NA, No, No] (set by owner code)
+        self.Gl: Optional[np.ndarray] = None
+        self.Gg: Optional[np.ndarray] = None
+        #: combined phonon rows this rank owns: {(q, w): [2, NA, NB, N3D, N3D]}
+        self.Dc: Dict[Tuple[int, int], np.ndarray] = {}
+        #: raw (unscaled) Σ≷ accumulators of the running exchange
+        self._acc_Sl: Optional[np.ndarray] = None
+        self._acc_Sg: Optional[np.ndarray] = None
+        #: raw reduced Π≷ rows of the running exchange (owned rows only)
+        self.pi_raw: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
 
-                # Emission window: G(E-ω) for E in the chunk.
-                em_lo, em_hi = max(0, esl.start - w), max(0, esl.stop - w)
-                dst_em = slice(esl.stop - (em_hi - em_lo), esl.stop)
-                # Absorption window: G(E+ω).
-                ab_lo, ab_hi = min(NE, esl.start + w), min(NE, esl.stop + w)
-                dst_ab = slice(esl.start, esl.start + (ab_hi - ab_lo))
+    @property
+    def n_local(self) -> int:
+        return self.esl.stop - self.esl.start
 
-                G_em_l = _gather_window(comm, decomp, Gl, ks, em_lo, em_hi, rank)
-                G_em_g = _gather_window(comm, decomp, Gg, ks, em_lo, em_hi, rank)
-                G_ab_l = _gather_window(comm, decomp, Gl, ks, ab_lo, ab_hi, rank)
-                G_ab_g = _gather_window(comm, decomp, Gg, ks, ab_lo, ab_hi, rank)
+    def sse_begin(self) -> None:
+        """Zero the Σ accumulators and Π rows for a fresh exchange."""
+        shape = (self.n_local, self.NA, self.Norb, self.Norb)
+        self._acc_Sl = np.zeros(shape, dtype=np.complex128)
+        self._acc_Sg = np.zeros(shape, dtype=np.complex128)
+        self.pi_raw = {}
 
-                if em_hi > em_lo:
-                    Sigma_l[k, dst_em] += _sigma_contrib(G_em_l, hd_l, dH, neigh)
-                    Sigma_g[k, dst_em] += _sigma_contrib(G_em_g, hd_g, dH, neigh)
-                if ab_hi > ab_lo:
-                    Sigma_l[k, dst_ab] += _sigma_contrib(G_ab_l, hd_g, dH, neigh)
-                    Sigma_g[k, dst_ab] += _sigma_contrib(G_ab_g, hd_l, dH, neigh)
+    # -- shard access (both ≷ components travel together) ----------------------
+    def g_rows(self, lo: int, hi: int) -> np.ndarray:
+        """``[2, hi-lo, NA, No, No]`` stacked G≶/G≷ rows (global energies)."""
+        sl = slice(lo - self.esl.start, hi - self.esl.start)
+        return np.stack([self.Gl[sl], self.Gg[sl]])
 
-                # Π partials: own rows are the shifted (E+ω, kz+qz) points,
-                # paired with the emission-window data already received.
-                own = slice(dst_em.start, dst_em.stop)
-                pl = np.zeros(Pi_shape[2:], dtype=np.complex128)
-                pg = np.zeros(Pi_shape[2:], dtype=np.complex128)
-                if em_hi > em_lo:
-                    off_l = _pi_contrib(Gl[k, own], G_em_g, dH, dH_ba, neigh)
-                    off_g = _pi_contrib(Gg[k, own], G_em_l, dH, dH_ba, neigh)
-                    pl[:, 1:] += off_l
-                    pl[:, 0] -= off_l.sum(axis=1)
-                    pg[:, 1:] += off_g
-                    pg[:, 0] -= off_g.sum(axis=1)
-                pi_l_parts.append(pl)
-                pi_g_parts.append(pg)
+    # -- OMEN steps ------------------------------------------------------------
+    def omen_d_round(self, q: int, w: int) -> np.ndarray:
+        """The owned combined phonon row of one round."""
+        return self.Dc[(q, w)]
 
-            Pi_l[q, w] = comm.reduce_sum(d_owner, pi_l_parts)
-            Pi_g[q, w] = comm.reduce_sum(d_owner, pi_g_parts)
+    def omen_apply_round(
+        self,
+        q: int,
+        w: int,
+        d_pack: np.ndarray,
+        G_em: Optional[np.ndarray],
+        G_ab: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume one round's windows: accumulate Σ, return Π partials."""
+        esl, NE, n = self.esl, self.NE, self.n_local
+        hd_l = _hd(d_pack[0], self.dH)
+        hd_g = _hd(d_pack[1], self.dH)
 
-    return DistributedSSEResult(Sigma_l, Sigma_g, Pi_l, Pi_g, comm.stats)
+        # Emission window: G(E-ω) for E in the chunk.
+        em_lo, em_hi = max(0, esl.start - w), max(0, esl.stop - w)
+        dst_em = slice(n - (em_hi - em_lo), n)
+        # Absorption window: G(E+ω).
+        ab_lo, ab_hi = min(NE, esl.start + w), min(NE, esl.stop + w)
+        dst_ab = slice(0, ab_hi - ab_lo)
 
-
-def _gather_window(
-    comm: SimComm,
-    decomp: OmenDecomposition,
-    G: np.ndarray,
-    ks: int,
-    lo: int,
-    hi: int,
-    dst_rank: int,
-) -> np.ndarray:
-    """Receive ``G[ks, lo:hi]`` from its owners via point-to-point sends."""
-    if hi <= lo:
-        return G[ks, 0:0]
-    pieces = []
-    e = lo
-    while e < hi:
-        owner = decomp.owner_of_energy(ks, e)
-        stop = min(hi, (e // decomp.chunk + 1) * decomp.chunk)
-        pieces.append(comm.sendrecv(owner, dst_rank, G[ks, e:stop]))
-        e = stop
-    return np.concatenate(pieces, axis=0) if len(pieces) > 1 else pieces[0]
-
-
-# --------------------------------------------------------------------------
-# DaCe schedule
-# --------------------------------------------------------------------------
-def dace_sse_phase(
-    comm: SimComm,
-    gf_decomp: OmenDecomposition,
-    sse_decomp: DaceDecomposition,
-    Gl: np.ndarray,
-    Gg: np.ndarray,
-    dH: np.ndarray,
-    Dcl: np.ndarray,
-    Dcg: np.ndarray,
-    neigh: np.ndarray,
-    rev: np.ndarray,
-) -> DistributedSSEResult:
-    """The communication-avoiding TE x TA tile schedule."""
-    if comm.P != gf_decomp.P or comm.P != sse_decomp.P:
-        raise ValueError("communicator and decompositions disagree on P")
-    Nkz, NE, NA, No, _ = Gl.shape
-    Nqz, Nw, _, NB = Dcl.shape[:4]
-    P = comm.P
-    N3D = dH.shape[2]
-    dH_ba = dH[neigh, rev]
-
-    # ---- Phase A: GF layout -> SSE tiles (one alltoallv) --------------------
-    windows = [sse_decomp.energy_window(j) for j in range(P)]
-    closures = [sse_decomp.atom_closure(j, neigh) for j in range(P)]
-    sendbufs: List[List[Optional[np.ndarray]]] = [
-        [None] * P for _ in range(P)
-    ]
-    for i in range(P):
-        k, _ = gf_decomp.coords(i)
-        esl = gf_decomp.energy_slice(i)
-        for j in range(P):
-            win = windows[j]
-            lo, hi = max(esl.start, win.start), min(esl.stop, win.stop)
-            if hi <= lo:
-                continue
-            ext = closures[j]
-            # Both ≷ tensors travel together.
-            sendbufs[i][j] = np.stack(
-                [Gl[k, lo:hi][:, ext], Gg[k, lo:hi][:, ext]]
+        if em_hi > em_lo:
+            self._acc_Sl[dst_em] += _sigma_contrib(
+                G_em[0], hd_l, self.dH, self.neigh
             )
-    recv = comm.alltoallv(sendbufs)
+            self._acc_Sg[dst_em] += _sigma_contrib(
+                G_em[1], hd_g, self.dH, self.neigh
+            )
+        if ab_hi > ab_lo:
+            self._acc_Sl[dst_ab] += _sigma_contrib(
+                G_ab[0], hd_g, self.dH, self.neigh
+            )
+            self._acc_Sg[dst_ab] += _sigma_contrib(
+                G_ab[1], hd_l, self.dH, self.neigh
+            )
 
-    # Each SSE rank assembles G_ext[2, Nkz, win, ext, No, No].
-    G_ext: List[np.ndarray] = []
-    for j in range(P):
-        win, ext = windows[j], closures[j]
-        buf = np.zeros(
-            (2, Nkz, win.stop - win.start, len(ext), No, No), dtype=np.complex128
+        # Π partials: own rows are the shifted (E+ω, kz+qz) points, paired
+        # with the emission-window data already received.
+        shape = (self.NA, self.NB + 1, self.N3D, self.N3D)
+        pl = np.zeros(shape, dtype=np.complex128)
+        pg = np.zeros(shape, dtype=np.complex128)
+        if em_hi > em_lo:
+            off_l = _pi_contrib(
+                self.Gl[dst_em], G_em[1], self.dH, self.dH_ba, self.neigh
+            )
+            off_g = _pi_contrib(
+                self.Gg[dst_em], G_em[0], self.dH, self.dH_ba, self.neigh
+            )
+            pl[:, 1:] += off_l
+            pl[:, 0] -= off_l.sum(axis=1)
+            pg[:, 1:] += off_g
+            pg[:, 0] -= off_g.sum(axis=1)
+        return pl, pg
+
+    def store_pi_round(self, q: int, w: int, pl: np.ndarray, pg: np.ndarray):
+        """Owner-side: keep the reduced raw Π≷ row of one round."""
+        self.pi_raw[(q, w)] = (pl, pg)
+
+    # -- DaCe steps --------------------------------------------------------------
+    def dace_g_blocks(
+        self, plan: Sequence[Tuple[int, int, np.ndarray]]
+    ) -> List[np.ndarray]:
+        """Slice the own shard for the first alltoallv: one block per target.
+
+        ``plan`` entries are ``(lo, hi, ext)``: global energy overlap with
+        the target's halo window and its atom closure.
+        """
+        out = []
+        for lo, hi, ext in plan:
+            sl = slice(lo - self.esl.start, hi - self.esl.start)
+            out.append(np.stack([self.Gl[sl][:, ext], self.Gg[sl][:, ext]]))
+        return out
+
+    def dace_d_rows(
+        self, rows: Sequence[Tuple[int, int]], tiles: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Owned combined phonon rows sliced to every rank's atom tile."""
+        return [
+            np.stack([self.Dc[(q, w)][:, tile] for (q, w) in rows], axis=1)
+            for tile in tiles
+        ]
+
+    def dace_compute(
+        self,
+        spec: Dict,
+        g_blocks: Sequence[Tuple[int, int, int, np.ndarray]],
+        d_pack: np.ndarray,
+    ):
+        """Run the transformed (∇H·G-reuse) kernel on this rank's tile.
+
+        ``spec`` carries the tile geometry; ``g_blocks`` are
+        ``(k_src, lo, hi, block)`` pieces of the halo window; ``d_pack``
+        is the assembled ``[2, Nqz, Nw, a_tile, NB, N3D, N3D]`` combined
+        phonon tensor of the tile.  Returns per-destination Σ blocks and
+        the tile-restricted Π≷ partials.
+        """
+        win_lo, win_hi = spec["win"]
+        et_lo, et_hi = spec["etile"]
+        ext = np.asarray(spec["ext"])
+        tile = np.asarray(spec["tile"])
+        Nkz, NE = spec["Nkz"], spec["NE"]
+        Nqz, Nw = spec["Nqz"], spec["Nw"]
+        No, N3D = self.Norb, self.N3D
+
+        G_ext = np.zeros(
+            (2, Nkz, win_hi - win_lo, len(ext), No, No), dtype=np.complex128
         )
-        for i in range(P):
-            if recv[j][i] is None:
-                continue
-            k, _ = gf_decomp.coords(i)
-            esl = gf_decomp.energy_slice(i)
-            lo = max(esl.start, win.start)
-            hi = min(esl.stop, win.stop)
-            buf[:, k, lo - win.start : hi - win.start] = recv[j][i]
-        G_ext.append(buf)
+        for k_src, lo, hi, blk in g_blocks:
+            G_ext[:, k_src, lo - win_lo : hi - win_lo] = blk
 
-    # The phonon GFs reach each tile from their owner (rank 0 store).
-    d_tiles: List[np.ndarray] = []
-    for j in range(P):
-        tile = sse_decomp.atom_tile(j)
-        pack = np.stack([Dcl[:, :, tile], Dcg[:, :, tile]])
-        d_tiles.append(comm.sendrecv(0, j, pack))
-
-    # ---- Phase B: local transformed kernel ------------------------------------
-    sigma_tiles: List[np.ndarray] = []
-    pi_parts_l: List[np.ndarray] = []
-    pi_parts_g: List[np.ndarray] = []
-    pi_shape = (Nqz, Nw, NA, NB + 1, N3D, N3D)
-    for j in range(P):
-        win, ext = windows[j], closures[j]
-        lookup = sse_decomp.local_index(ext)
-        tile = sse_decomp.atom_tile(j)
-        etile = sse_decomp.energy_tile(j)
+        lookup = -np.ones(int(ext.max()) + 1, dtype=np.int64)
+        lookup[ext] = np.arange(len(ext))
         tl = lookup[tile]  # tile atoms in local coords
-        f_local = lookup[neigh[tile]]  # (a_tile, NB) local neighbor idx
-        Gle, Gge = G_ext[j][0], G_ext[j][1]
-        Dcl_t, Dcg_t = d_tiles[j][0], d_tiles[j][1]
-        dH_t, dH_ba_t = dH[tile], dH_ba[tile]
-        neigh_loc = f_local
+        neigh_loc = lookup[self.neigh[tile]]  # (a_tile, NB) local neighbor idx
+        Gle, Gge = G_ext[0], G_ext[1]
+        Dcl_t, Dcg_t = d_pack[0], d_pack[1]
+        dH_t, dH_ba_t = self.dH[tile], self.dH_ba[tile]
 
         # ∇H·G computed ONCE per tile over the whole halo window (the
         # transformed algorithm's reuse; contrast with the OMEN rounds).
@@ -289,10 +320,12 @@ def dace_sse_phase(
             "kEabxy,abiyz->kEabixz", Gge[:, :, neigh_loc], dH_t, optimize=True
         )
 
-        n_et = etile.stop - etile.start
+        n_et = et_hi - et_lo
         sig = np.zeros((2, Nkz, n_et, len(tile), No, No), dtype=np.complex128)
-        pl = np.zeros(pi_shape, dtype=np.complex128)
-        pg = np.zeros(pi_shape, dtype=np.complex128)
+        pl = np.zeros(
+            (Nqz, Nw, len(tile), self.NB + 1, N3D, N3D), dtype=np.complex128
+        )
+        pg = np.zeros_like(pl)
         for q in range(Nqz):
             ghq_l = np.roll(gh_l, q, axis=0)
             ghq_g = np.roll(gh_g, q, axis=0)
@@ -302,35 +335,39 @@ def dace_sse_phase(
                 hd_l = _hd(Dcl_t[q, w], dH_t)
                 hd_g = _hd(Dcg_t[q, w], dH_t)
                 # Emission: rows E-w for E in the tile (zero-padded).
-                em_lo = max(0, etile.start - w)
-                em_hi = max(0, etile.stop - w)
+                em_lo = max(0, et_lo - w)
+                em_hi = max(0, et_hi - w)
                 dst_em = slice(n_et - (em_hi - em_lo), n_et)
-                src_em = slice(em_lo - win.start, em_hi - win.start)
+                src_em = slice(em_lo - win_lo, em_hi - win_lo)
                 # Absorption: rows E+w.
-                ab_lo = min(NE, etile.start + w)
-                ab_hi = min(NE, etile.stop + w)
+                ab_lo = min(NE, et_lo + w)
+                ab_hi = min(NE, et_hi + w)
                 dst_ab = slice(0, ab_hi - ab_lo)
-                src_ab = slice(ab_lo - win.start, ab_hi - win.start)
+                src_ab = slice(ab_lo - win_lo, ab_hi - win_lo)
 
                 if em_hi > em_lo:
                     sig[0, :, dst_em] += np.einsum(
-                        "kEabixy,abiyz->kEaxz", ghq_l[:, src_em], hd_l, optimize=True
+                        "kEabixy,abiyz->kEaxz", ghq_l[:, src_em], hd_l,
+                        optimize=True,
                     )
                     sig[1, :, dst_em] += np.einsum(
-                        "kEabixy,abiyz->kEaxz", ghq_g[:, src_em], hd_g, optimize=True
+                        "kEabixy,abiyz->kEaxz", ghq_g[:, src_em], hd_g,
+                        optimize=True,
                     )
                 if ab_hi > ab_lo:
                     sig[0, :, dst_ab] += np.einsum(
-                        "kEabixy,abiyz->kEaxz", ghq_l[:, src_ab], hd_g, optimize=True
+                        "kEabixy,abiyz->kEaxz", ghq_l[:, src_ab], hd_g,
+                        optimize=True,
                     )
                     sig[1, :, dst_ab] += np.einsum(
-                        "kEabixy,abiyz->kEaxz", ghq_g[:, src_ab], hd_l, optimize=True
+                        "kEabixy,abiyz->kEaxz", ghq_g[:, src_ab], hd_l,
+                        optimize=True,
                     )
 
                 # Π partials over (tile atoms, own E rows E''=E+w).
                 own = slice(
-                    etile.start - win.start + (n_et - (em_hi - em_lo)),
-                    etile.stop - win.start,
+                    et_lo - win_lo + (n_et - (em_hi - em_lo)),
+                    et_hi - win_lo,
                 )
                 if em_hi > em_lo:
                     for k in range(Nkz):
@@ -348,46 +385,400 @@ def dace_sse_phase(
                             dH_ba_t,
                             neigh_loc,
                         )
-                        pl[q, w, tile, 1:] += off_l
-                        pl[q, w, tile, 0] -= off_l.sum(axis=1)
-                        pg[q, w, tile, 1:] += off_g
-                        pg[q, w, tile, 0] -= off_g.sum(axis=1)
-        sigma_tiles.append(sig)
-        pi_parts_l.append(pl)
-        pi_parts_g.append(pg)
+                        pl[q, w, :, 1:] += off_l
+                        pl[q, w, :, 0] -= off_l.sum(axis=1)
+                        pg[q, w, :, 1:] += off_g
+                        pg[q, w, :, 0] -= off_g.sum(axis=1)
 
-    # ---- Phase C: Σ tiles back to the GF layout, Π reduced --------------------
-    sendbufs2: List[List[Optional[np.ndarray]]] = [
-        [None] * P for _ in range(P)
-    ]
-    for j in range(P):
-        etile = sse_decomp.energy_tile(j)
+        dest_blocks = {
+            i: sig[:, k_i, lo - et_lo : hi - et_lo]
+            for i, k_i, lo, hi in spec["dests"]
+        }
+        return dest_blocks, pl, pg
+
+    def dace_accum_sigma(
+        self, pieces: Sequence[Tuple[np.ndarray, int, int, np.ndarray]]
+    ) -> None:
+        """Accumulate returned Σ tile blocks into the own shard."""
+        for tile, lo, hi, blk in pieces:
+            sl = slice(lo - self.esl.start, hi - self.esl.start)
+            self._acc_Sl[sl][:, tile] += blk[0]
+            self._acc_Sg[sl][:, tile] += blk[1]
+
+    def dace_store_pi(self, entries) -> None:
+        """Owner-side: assemble reduced Π rows from per-tile partials."""
+        shape = (self.NA, self.NB + 1, self.N3D, self.N3D)
+        for q, w, pieces in entries:
+            Pl = np.zeros(shape, dtype=np.complex128)
+            Pg = np.zeros(shape, dtype=np.complex128)
+            for tile, pl, pg in pieces:
+                Pl[tile] += pl
+                Pg[tile] += pg
+            self.pi_raw[(q, w)] = (Pl, Pg)
+
+
+class LocalTransport:
+    """Minimal in-process transport: direct store calls + SimComm metering."""
+
+    def __init__(self, comm: SimComm, stores: Sequence[RankSSEStore]):
+        if len(stores) != comm.P:
+            raise ValueError("one store per communicator rank required")
+        self.comm = comm
+        self.stores = list(stores)
+
+    @property
+    def P(self) -> int:
+        return self.comm.P
+
+    @property
+    def stats(self) -> CommStats:
+        return self.comm.stats
+
+    def call(self, rank: int, method: str, *args):
+        return getattr(self.stores[rank], method)(*args)
+
+    def call_all(self, method: str, args_list):
+        return [
+            self.call(r, method, *args) for r, args in enumerate(args_list)
+        ]
+
+    def charge(self, src: int, dst: int, nbytes: int):
+        self.comm.charge(src, dst, int(nbytes))
+
+
+# --------------------------------------------------------------------------
+# OMEN schedule
+# --------------------------------------------------------------------------
+class OmenExchange:
+    """Resident OMEN exchange: per-(qz, ω) broadcast + window rounds.
+
+    One instance holds the momentum x energy decomposition and the
+    phonon-row owner map; :meth:`run_iteration` executes one full Σ≷/Π≷
+    exchange against the rank stores behind ``transport`` — callable every
+    Born iteration on refreshed shards (the in-loop generalization of the
+    one-shot :func:`omen_sse_phase`).
+    """
+
+    def __init__(
+        self,
+        decomp: OmenDecomposition,
+        Nqz: int,
+        Nw: int,
+        owner_of: Optional[Callable[[int, int], int]] = None,
+    ):
+        self.decomp = decomp
+        self.Nqz = Nqz
+        self.Nw = Nw
+        self.owner_of = owner_of or default_round_owner(Nw, decomp.P)
+
+    def run_iteration(self, t) -> None:
+        d = self.decomp
+        P, NE = d.P, d.NE
+        for q in range(self.Nqz):
+            for w in range(self.Nw):
+                owner = self.owner_of(q, w)
+                # Broadcast the phonon GF of this round (both ≷ components).
+                d_pack = t.call(owner, "omen_d_round", q, w)
+                for r in range(P):
+                    t.charge(owner, r, d_pack.nbytes)
+
+                pi_l_sum: Optional[np.ndarray] = None
+                pi_g_sum: Optional[np.ndarray] = None
+                for rank in range(P):
+                    k, _ = d.coords(rank)
+                    esl = d.energy_slice(rank)
+                    ks = (k - q) % d.Nkz
+                    em_lo, em_hi = max(0, esl.start - w), max(0, esl.stop - w)
+                    ab_lo, ab_hi = min(NE, esl.start + w), min(NE, esl.stop + w)
+                    G_em = self._fetch_window(t, ks, em_lo, em_hi, rank)
+                    G_ab = self._fetch_window(t, ks, ab_lo, ab_hi, rank)
+                    pl, pg = t.call(
+                        rank, "omen_apply_round", q, w, d_pack, G_em, G_ab
+                    )
+                    t.charge(rank, owner, pl.nbytes)
+                    t.charge(rank, owner, pg.nbytes)
+                    pi_l_sum = pl if pi_l_sum is None else pi_l_sum + pl
+                    pi_g_sum = pg if pi_g_sum is None else pi_g_sum + pg
+                t.call(owner, "store_pi_round", q, w, pi_l_sum, pi_g_sum)
+
+    def _fetch_window(
+        self, t, ks: int, lo: int, hi: int, dst: int
+    ) -> Optional[np.ndarray]:
+        """Receive ``G≷[ks, lo:hi]`` from its owners, piece by piece."""
+        if hi <= lo:
+            return None
+        d = self.decomp
+        pieces = []
+        e = lo
+        while e < hi:
+            owner = d.owner_of_energy(ks, e)
+            stop = min(hi, (e // d.chunk + 1) * d.chunk)
+            piece = t.call(owner, "g_rows", e, stop)
+            t.charge(owner, dst, piece.nbytes)
+            pieces.append(piece)
+            e = stop
+        return (
+            pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+        )
+
+
+# --------------------------------------------------------------------------
+# DaCe schedule
+# --------------------------------------------------------------------------
+class DaceExchange:
+    """Resident DaCe exchange: the communication-avoiding TE x TA tiles.
+
+    The halo windows, atom closures, and both alltoallv plans are derived
+    once from the decompositions; every :meth:`run_iteration` then only
+    moves the current shards (the in-loop generalization of
+    :func:`dace_sse_phase`).  Π≷ partials travel tile-restricted to the
+    (qz, ω) row owners given by ``owner_of``.
+    """
+
+    def __init__(
+        self,
+        gf_decomp: OmenDecomposition,
+        sse_decomp: DaceDecomposition,
+        neigh: np.ndarray,
+        Nqz: int,
+        Nw: int,
+        owner_of: Optional[Callable[[int, int], int]] = None,
+    ):
+        if gf_decomp.P != sse_decomp.P:
+            raise ValueError("communicator and decompositions disagree on P")
+        self.gf_decomp = gf_decomp
+        self.sse_decomp = sse_decomp
+        self.Nqz = Nqz
+        self.Nw = Nw
+        P = gf_decomp.P
+        self.owner_of = owner_of or default_round_owner(Nw, P)
+        self.rows = [(q, w) for q in range(Nqz) for w in range(Nw)]
+        self.rows_by_owner: Dict[int, List[Tuple[int, int]]] = {}
+        for row in self.rows:
+            self.rows_by_owner.setdefault(self.owner_of(*row), []).append(row)
+
+        # -- static geometry -------------------------------------------------
+        self.k_of = [gf_decomp.coords(i)[0] for i in range(P)]
+        self.esl = [gf_decomp.energy_slice(i) for i in range(P)]
+        self.windows = [sse_decomp.energy_window(j) for j in range(P)]
+        self.etiles = [sse_decomp.energy_tile(j) for j in range(P)]
+        self.closures = [sse_decomp.atom_closure(j, neigh) for j in range(P)]
+        self.tiles = [sse_decomp.atom_tile(j) for j in range(P)]
+
+        # -- communication plans ---------------------------------------------
+        #: first alltoallv (GF layout -> tiles): per source i, (j, lo, hi)
+        self.a_plan: List[List[Tuple[int, int, int]]] = []
         for i in range(P):
-            esl = gf_decomp.energy_slice(i)
-            k, _ = gf_decomp.coords(i)
-            lo, hi = max(esl.start, etile.start), min(esl.stop, etile.stop)
-            if hi <= lo:
-                continue
-            sendbufs2[j][i] = sigma_tiles[j][
-                :, k, lo - etile.start : hi - etile.start
-            ]
-    recv2 = comm.alltoallv(sendbufs2)
+            esl = self.esl[i]
+            plan = []
+            for j in range(P):
+                win = self.windows[j]
+                lo, hi = max(esl.start, win.start), min(esl.stop, win.stop)
+                if hi > lo:
+                    plan.append((j, lo, hi))
+            self.a_plan.append(plan)
+        #: second alltoallv (Σ tiles -> GF layout): per tile j, (i, k_i, lo, hi)
+        self.c_plan: List[List[Tuple[int, int, int, int]]] = []
+        for j in range(P):
+            et = self.etiles[j]
+            plan = []
+            for i in range(P):
+                esl = self.esl[i]
+                lo, hi = max(esl.start, et.start), min(esl.stop, et.stop)
+                if hi > lo:
+                    plan.append((i, self.k_of[i], lo, hi))
+            self.c_plan.append(plan)
+
+    def compute_spec(self, j: int, Nkz: int, NE: int) -> Dict:
+        """The :meth:`RankSSEStore.dace_compute` geometry of tile ``j``."""
+        win, et = self.windows[j], self.etiles[j]
+        return {
+            "win": (win.start, win.stop),
+            "etile": (et.start, et.stop),
+            "ext": self.closures[j],
+            "tile": self.tiles[j],
+            "Nkz": Nkz,
+            "NE": NE,
+            "Nqz": self.Nqz,
+            "Nw": self.Nw,
+            "dests": self.c_plan[j],
+        }
+
+    def run_iteration(self, t) -> None:
+        P = self.gf_decomp.P
+        Nkz, NE = self.gf_decomp.Nkz, self.gf_decomp.NE
+
+        # ---- Phase A: GF layout -> SSE tiles (one alltoallv) ----------------
+        blocks_for: Dict[int, List[Tuple[int, int, int, np.ndarray]]] = {
+            j: [] for j in range(P)
+        }
+        for i in range(P):
+            plan = self.a_plan[i]
+            out = t.call(
+                i,
+                "dace_g_blocks",
+                [(lo, hi, self.closures[j]) for j, lo, hi in plan],
+            )
+            for (j, lo, hi), blk in zip(plan, out):
+                t.charge(i, j, blk.nbytes)
+                blocks_for[j].append((self.k_of[i], lo, hi, blk))
+
+        # The phonon rows reach each tile from their owners.
+        d_packs: List[Optional[np.ndarray]] = [None] * P
+        for o in sorted(self.rows_by_owner):
+            rows = self.rows_by_owner[o]
+            out = t.call(o, "dace_d_rows", rows, self.tiles)
+            for j, blk in enumerate(out):
+                t.charge(o, j, blk.nbytes)
+                if d_packs[j] is None:
+                    d_packs[j] = np.zeros(
+                        (2, self.Nqz, self.Nw) + blk.shape[2:],
+                        dtype=np.complex128,
+                    )
+                for idx, (q, w) in enumerate(rows):
+                    d_packs[j][:, q, w] = blk[:, idx]
+
+        # ---- Phase B: local transformed kernel ------------------------------
+        args = [
+            (self.compute_spec(j, Nkz, NE), blocks_for[j], d_packs[j])
+            for j in range(P)
+        ]
+        results = t.call_all("dace_compute", args)
+
+        # ---- Phase C: Σ tiles back to the GF layout -------------------------
+        pieces_for: Dict[int, List] = {i: [] for i in range(P)}
+        for j in range(P):
+            dest_blocks = results[j][0]
+            for i, _k_i, lo, hi in self.c_plan[j]:
+                blk = dest_blocks[i]
+                t.charge(j, i, blk.nbytes)
+                pieces_for[i].append((self.tiles[j], lo, hi, blk))
+        for i in range(P):
+            if pieces_for[i]:
+                t.call(i, "dace_accum_sigma", pieces_for[i])
+
+        # ---- Π partials reduced to the row owners ---------------------------
+        entries_for: Dict[int, Dict[Tuple[int, int], List]] = {}
+        for j in range(P):
+            pl_rows, pg_rows = results[j][1], results[j][2]
+            for q, w in self.rows:
+                o = self.owner_of(q, w)
+                pl, pg = pl_rows[q, w], pg_rows[q, w]
+                t.charge(j, o, pl.nbytes)
+                t.charge(j, o, pg.nbytes)
+                entries_for.setdefault(o, {}).setdefault((q, w), []).append(
+                    (self.tiles[j], pl, pg)
+                )
+        for o, rowmap in entries_for.items():
+            t.call(
+                o,
+                "dace_store_pi",
+                [(q, w, pieces) for (q, w), pieces in rowmap.items()],
+            )
+
+
+# --------------------------------------------------------------------------
+# One-shot phases (wrappers over the resident exchanges)
+# --------------------------------------------------------------------------
+class _ArrayStore(RankSSEStore):
+    """Adapter presenting slices of global arrays as one rank's store."""
+
+    def __init__(self, rank, decomp, Gl, Gg, Dc_rows, dH, neigh, rev):
+        k, _ = decomp.coords(rank)
+        esl = decomp.energy_slice(rank)
+        super().__init__(rank, k, esl, decomp.NE, dH, neigh, rev)
+        self.Gl = Gl[k, esl]
+        self.Gg = Gg[k, esl]
+        self.Dc = Dc_rows
+        self.sse_begin()
+
+
+def _one_shot(
+    comm: SimComm,
+    decomp: OmenDecomposition,
+    exchange,
+    owner_of,
+    Gl,
+    Gg,
+    dH,
+    Dcl,
+    Dcg,
+    neigh,
+    rev,
+) -> DistributedSSEResult:
+    """Run one exchange over array-backed stores and reassemble globally."""
+    Nqz, Nw = Dcl.shape[:2]
+    P = comm.P
+    stores = []
+    for r in range(P):
+        rows = {
+            (q, w): np.stack([Dcl[q, w], Dcg[q, w]])
+            for q in range(Nqz)
+            for w in range(Nw)
+            if owner_of(q, w) == r
+        }
+        stores.append(_ArrayStore(r, decomp, Gl, Gg, rows, dH, neigh, rev))
+    exchange.run_iteration(LocalTransport(comm, stores))
 
     Sigma_l = np.zeros_like(Gl)
     Sigma_g = np.zeros_like(Gg)
-    for i in range(P):
-        k, _ = gf_decomp.coords(i)
-        esl = gf_decomp.energy_slice(i)
-        for j in range(P):
-            if recv2[i][j] is None:
-                continue
-            etile = sse_decomp.energy_tile(j)
-            tile = sse_decomp.atom_tile(j)
-            lo, hi = max(esl.start, etile.start), min(esl.stop, etile.stop)
-            piece = recv2[i][j]  # (2, nE, n_tile, No, No)
-            Sigma_l[k, lo:hi][:, tile] += piece[0]
-            Sigma_g[k, lo:hi][:, tile] += piece[1]
-
-    Pi_l = comm.reduce_sum(0, pi_parts_l)
-    Pi_g = comm.reduce_sum(0, pi_parts_g)
+    NA, NB = neigh.shape
+    Pi_shape = (Nqz, Nw, NA, NB + 1, dH.shape[2], dH.shape[2])
+    Pi_l = np.zeros(Pi_shape, dtype=np.complex128)
+    Pi_g = np.zeros(Pi_shape, dtype=np.complex128)
+    for st in stores:
+        Sigma_l[st.k, st.esl] = st._acc_Sl
+        Sigma_g[st.k, st.esl] = st._acc_Sg
+        for (q, w), (pl, pg) in st.pi_raw.items():
+            Pi_l[q, w] = pl
+            Pi_g[q, w] = pg
     return DistributedSSEResult(Sigma_l, Sigma_g, Pi_l, Pi_g, comm.stats)
+
+
+def omen_sse_phase(
+    comm: SimComm,
+    decomp: OmenDecomposition,
+    Gl: np.ndarray,
+    Gg: np.ndarray,
+    dH: np.ndarray,
+    Dcl: np.ndarray,
+    Dcg: np.ndarray,
+    neigh: np.ndarray,
+    rev: np.ndarray,
+) -> DistributedSSEResult:
+    """One-shot momentum x energy schedule with per-(qz, ω) rounds."""
+    Nqz, Nw = Dcl.shape[:2]
+    owner_of = default_round_owner(Nw, comm.P)
+    exchange = OmenExchange(decomp, Nqz, Nw, owner_of)
+    return _one_shot(
+        comm, decomp, exchange, owner_of, Gl, Gg, dH, Dcl, Dcg, neigh, rev
+    )
+
+
+def dace_sse_phase(
+    comm: SimComm,
+    gf_decomp: OmenDecomposition,
+    sse_decomp: DaceDecomposition,
+    Gl: np.ndarray,
+    Gg: np.ndarray,
+    dH: np.ndarray,
+    Dcl: np.ndarray,
+    Dcg: np.ndarray,
+    neigh: np.ndarray,
+    rev: np.ndarray,
+) -> DistributedSSEResult:
+    """One-shot communication-avoiding TE x TA tile schedule.
+
+    The one-shot phase keeps the legacy convention that rank 0 is the
+    phonon store: all D≷ rows ship from (and all Π≷ rows reduce to) rank
+    0; the distributed runtime instead spreads row ownership round-robin
+    (:func:`default_round_owner`).
+    """
+    if comm.P != gf_decomp.P or comm.P != sse_decomp.P:
+        raise ValueError("communicator and decompositions disagree on P")
+    Nqz, Nw = Dcl.shape[:2]
+    owner_of = lambda q, w: 0  # noqa: E731 - legacy one-shot convention
+    exchange = DaceExchange(gf_decomp, sse_decomp, neigh, Nqz, Nw, owner_of)
+    return _one_shot(
+        comm, gf_decomp, exchange, owner_of, Gl, Gg, dH, Dcl, Dcg, neigh, rev
+    )

@@ -5,19 +5,23 @@ MPI; here they run inside one process, but with the *actual data* moving
 between per-rank stores and every transfer metered.  This makes the
 distributed SSE results bit-comparable to the serial kernels while the
 measured per-rank byte counts can be checked against the closed-form
-volume models of §4.1 (see ``tests/test_schedules.py``).
+volume models of §4.1 (see ``tests/test_parallel.py`` for the one-shot
+schedules and ``tests/test_runtime.py`` for the distributed SCBA loop).
 
-Supported operations mirror what the two schedules need: ``bcast``,
-``sendrecv`` (point-to-point), ``alltoallv``, and ``reduce`` (sum).
-Counting conventions match the paper's accounting: a broadcast charges
-every receiving rank with the payload size; a reduction charges each
-contributing rank once.
+Supported operations mirror what the schedules and the distributed
+runtime need: ``bcast``, ``sendrecv`` (point-to-point), ``alltoallv``,
+``gather``, and ``reduce``/``allreduce`` (sum).  Counting conventions
+match the paper's accounting: a broadcast charges every receiving rank
+with the payload size; a reduction charges each contributing rank once;
+an allreduce is charged as reduce + broadcast.  Transports that move the
+data themselves (``repro.runtime.transport``) meter through the public
+:meth:`SimComm.charge` entry point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +37,10 @@ class CommStats:
     messages: np.ndarray
 
     @property
+    def P(self) -> int:
+        return len(self.sent_bytes)
+
+    @property
     def total_bytes(self) -> int:
         """Total volume: every byte is counted once at the receiver."""
         return int(self.recv_bytes.sum())
@@ -45,6 +53,60 @@ class CommStats:
     def max_per_rank(self) -> int:
         return int((self.sent_bytes + self.recv_bytes).max())
 
+    # -- arithmetic --------------------------------------------------------------
+    def __add__(self, other: "CommStats") -> "CommStats":
+        return CommStats(
+            sent_bytes=self.sent_bytes + other.sent_bytes,
+            recv_bytes=self.recv_bytes + other.recv_bytes,
+            messages=self.messages + other.messages,
+        )
+
+    def scaled(self, n: int) -> "CommStats":
+        """The stats of ``n`` identical repetitions (e.g. Born iterations)."""
+        return CommStats(
+            sent_bytes=n * self.sent_bytes,
+            recv_bytes=n * self.recv_bytes,
+            messages=n * self.messages,
+        )
+
+    def matches(self, other: "CommStats") -> bool:
+        """Exact per-rank equality of byte and message counts."""
+        return (
+            np.array_equal(self.sent_bytes, other.sent_bytes)
+            and np.array_equal(self.recv_bytes, other.recv_bytes)
+            and np.array_equal(self.messages, other.messages)
+        )
+
+    # -- persistence (mirrors SCBAResult.to_dict/from_dict) ----------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of exact per-rank integer counters.
+
+        Round-trips exactly through :meth:`from_dict`, so runtime results
+        and benchmark records (``BENCH_runtime.json``) can persist their
+        per-rank byte accounting.
+        """
+        return {
+            "sent_bytes": [int(v) for v in self.sent_bytes],
+            "recv_bytes": [int(v) for v in self.recv_bytes],
+            "messages": [int(v) for v in self.messages],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CommStats":
+        return cls(
+            sent_bytes=np.asarray(d["sent_bytes"], dtype=np.int64),
+            recv_bytes=np.asarray(d["recv_bytes"], dtype=np.int64),
+            messages=np.asarray(d["messages"], dtype=np.int64),
+        )
+
+    @classmethod
+    def zeros(cls, P: int) -> "CommStats":
+        return cls(
+            sent_bytes=np.zeros(P, dtype=np.int64),
+            recv_bytes=np.zeros(P, dtype=np.int64),
+            messages=np.zeros(P, dtype=np.int64),
+        )
+
 
 class SimComm:
     """A communicator over ``P`` simulated ranks."""
@@ -53,14 +115,16 @@ class SimComm:
         if P < 1:
             raise ValueError("communicator needs at least one rank")
         self.P = P
-        self.stats = CommStats(
-            sent_bytes=np.zeros(P, dtype=np.int64),
-            recv_bytes=np.zeros(P, dtype=np.int64),
-            messages=np.zeros(P, dtype=np.int64),
-        )
+        self.stats = CommStats.zeros(P)
 
     # -- accounting ----------------------------------------------------------
-    def _charge(self, src: int, dst: int, nbytes: int):
+    def charge(self, src: int, dst: int, nbytes: int):
+        """Meter one ``src -> dst`` transfer (self-sends are free).
+
+        Public so transports that move the payloads themselves (the
+        distributed runtime's sim/pipe transports) share one accounting
+        convention with the collective operations below.
+        """
         if src == dst:
             return  # local copies are free (no network)
         self.stats.sent_bytes[src] += nbytes
@@ -72,6 +136,14 @@ class SimComm:
         self.stats.recv_bytes[:] = 0
         self.stats.messages[:] = 0
 
+    def snapshot(self) -> CommStats:
+        """A frozen copy of the current counters (for phase deltas)."""
+        return CommStats(
+            sent_bytes=self.stats.sent_bytes.copy(),
+            recv_bytes=self.stats.recv_bytes.copy(),
+            messages=self.stats.messages.copy(),
+        )
+
     # -- operations ------------------------------------------------------------
     def bcast(self, root: int, value: np.ndarray) -> List[np.ndarray]:
         """Broadcast: every non-root rank receives a copy."""
@@ -80,13 +152,13 @@ class SimComm:
             if r == root:
                 out.append(value)
             else:
-                self._charge(root, r, value.nbytes)
+                self.charge(root, r, value.nbytes)
                 out.append(value.copy())
         return out
 
     def sendrecv(self, src: int, dst: int, value: np.ndarray) -> np.ndarray:
         """Point-to-point transfer of a numpy array."""
-        self._charge(src, dst, value.nbytes)
+        self.charge(src, dst, value.nbytes)
         return value.copy() if src != dst else value
 
     def alltoallv(
@@ -104,9 +176,19 @@ class SimComm:
             for j, buf in enumerate(row):
                 if buf is None:
                     continue
-                self._charge(i, j, buf.nbytes)
+                self.charge(i, j, buf.nbytes)
                 recv[j][i] = buf.copy() if i != j else buf
         return recv
+
+    def gather(self, root: int, values: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Collect one array per rank at the root (each contributor charged)."""
+        if len(values) != self.P:
+            raise ValueError("gather needs one contribution per rank")
+        out: List[np.ndarray] = []
+        for r, v in enumerate(values):
+            self.charge(r, root, v.nbytes)
+            out.append(v.copy() if r != root else v)
+        return out
 
     def reduce_sum(
         self, root: int, contributions: Sequence[np.ndarray]
@@ -116,7 +198,7 @@ class SimComm:
             raise ValueError("reduce needs one contribution per rank")
         total = np.zeros_like(contributions[root])
         for r, c in enumerate(contributions):
-            self._charge(r, root, c.nbytes)
+            self.charge(r, root, c.nbytes)
             total = total + c
         return total
 

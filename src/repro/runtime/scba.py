@@ -1,0 +1,328 @@
+"""The rank-parallel SCBA runtime: a distributed Born loop (Fig. 2/6).
+
+:class:`DistributedSCBARuntime` executes the full self-consistent Born
+iteration over ``P`` ranks, the execution tier the paper's §4.1 scaling
+results run on (Fig. 13, Tables 4-5):
+
+* each rank owns its ``(kz, E-chunk)`` shard of an
+  :class:`~repro.parallel.decomposition.OmenDecomposition` plus a
+  round-robin set of ``(qz, ω)`` phonon rows, and solves them with the
+  existing batched RGF engine behind a per-rank boundary cache
+  (:class:`~repro.runtime.rank.RankWorker`);
+* every iteration, G≷ is exchanged through a resident SSE schedule —
+  :class:`~repro.parallel.schedules.OmenExchange` (per-round broadcasts)
+  or :class:`~repro.parallel.schedules.DaceExchange` (TE x TA tiles from
+  the :func:`~repro.model.distribution.search_tiling` tile search) —
+  including the Π≷/D≷ feedback path: reduced Π≷ rows drive the owners'
+  phonon solves of the next iteration;
+* convergence is a metered allreduce of the per-rank ``|ΔG<|²``
+  contributions, reproducing the serial residual;
+* everything runs over a pluggable transport
+  (:mod:`repro.runtime.transport`): ``sim`` in-process ranks with
+  bit-exact byte accounting, or ``pipe`` forked rank processes moving
+  real bytes.
+
+The per-phase per-rank byte counts land in :attr:`last_comm`
+(``{"sse", "residual", "gather"}`` → :class:`~repro.parallel.CommStats`)
+and are asserted equal to the closed-form §4.1 exchange models in
+``benchmarks/bench_runtime_scaling.py`` / ``tests/test_runtime.py``.
+Results match the serial :class:`~repro.negf.SCBASimulation` to ≤ 1e-10.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SSE_SCHEDULES, validate_parameters
+from ..model.distribution import search_tiling
+from ..parallel.decomposition import DaceDecomposition, OmenDecomposition
+from ..parallel.schedules import (
+    DaceExchange,
+    OmenExchange,
+    default_round_owner,
+)
+from ..parallel.simmpi import CommStats
+from .rank import RankWorker
+from .transport import Transport, make_transport
+
+__all__ = ["DistributedSCBARuntime"]
+
+
+class DistributedSCBARuntime:
+    """Run the Born loop rank-parallel over an SSE communication schedule.
+
+    Parameters are taken from ``settings`` (``runtime``/``ranks``/
+    ``schedule``) unless overridden explicitly.  The runtime is resident:
+    workers (and their boundary caches) survive across :meth:`run` calls,
+    so a :class:`~repro.api.Session` sweep reuses them point to point.
+    """
+
+    def __init__(
+        self,
+        model,
+        settings,
+        ranks: Optional[int] = None,
+        schedule: Optional[str] = None,
+        transport: Optional[str] = None,
+    ):
+        self.model = model
+        self.s = settings
+        s = settings
+        runtime = getattr(s, "runtime", "serial")
+        self.transport_name = transport or (
+            runtime if runtime != "serial" else "sim"
+        )
+        self.schedule = schedule or getattr(s, "schedule", "omen")
+        if self.schedule not in SSE_SCHEDULES:
+            raise ValueError(
+                f"unknown SSE schedule {self.schedule!r}; "
+                f"expected one of {SSE_SCHEDULES}"
+            )
+
+        P = ranks if ranks is not None else (getattr(s, "ranks", None) or s.Nkz)
+        try:
+            self.gf_decomp = OmenDecomposition(Nkz=s.Nkz, NE=s.NE, P=P)
+        except ValueError as exc:
+            raise ValueError(
+                f"ranks={P} cannot decompose the (Nkz={s.Nkz}, NE={s.NE}) "
+                f"grid: {exc}"
+            ) from exc
+        self.owner_of = default_round_owner(s.Nw, P)
+        rounds = [(q, w) for q in range(s.Nqz) for w in range(s.Nw)]
+        self.phonon_rows: List[List[Tuple[int, int]]] = [
+            [row for row in rounds if self.owner_of(*row) == r]
+            for r in range(P)
+        ]
+
+        dev = model.structure
+        self.sse_decomp: Optional[DaceDecomposition] = None
+        if self.schedule == "dace":
+            params = validate_parameters(
+                Nkz=s.Nkz, Nqz=s.Nqz, NE=s.NE, Nw=s.Nw,
+                NA=dev.NA, NB=dev.NB, Norb=model.Norb, N3D=model.N3D,
+                bnum=dev.bnum,
+            )
+            tiling = search_tiling(params, P, divisors_only=True)
+            self.sse_decomp = DaceDecomposition(
+                NE=s.NE, NA=dev.NA, TE=tiling.TE, TA=tiling.TA, Nw=s.Nw
+            )
+            self.exchange = DaceExchange(
+                self.gf_decomp, self.sse_decomp, dev.neighbors,
+                s.Nqz, s.Nw, self.owner_of,
+            )
+        else:
+            self.exchange = OmenExchange(
+                self.gf_decomp, s.Nqz, s.Nw, self.owner_of
+            )
+
+        self._transport: Optional[Transport] = None
+        #: per-phase per-rank accounting of the last :meth:`run`
+        self.last_comm: Dict[str, CommStats] = {}
+        #: SSE exchanges executed by the last :meth:`run`
+        self.n_sse_iterations = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+    @property
+    def P(self) -> int:
+        return self.gf_decomp.P
+
+    def _ensure_transport(self) -> Transport:
+        if self._transport is None:
+            t = make_transport(self.transport_name, self.P)
+            model = self.model
+            state = dict(vars(self.s))
+            decomp = self.gf_decomp
+            rows = self.phonon_rows
+
+            def factory(rank: int) -> RankWorker:
+                return RankWorker(rank, model, state, decomp, rows[rank])
+
+            t.start(factory)
+            self._transport = t
+        return self._transport
+
+    def close(self) -> None:
+        """Shut the transport (worker processes included) down."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def __enter__(self) -> "DistributedSCBARuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @contextmanager
+    def _meter(self, phase: str):
+        """Accumulate the transport-byte delta of a block under ``phase``."""
+        t = self._transport
+        before = t.comm.snapshot()
+        try:
+            yield
+        finally:
+            after = t.comm.snapshot()
+            delta = CommStats(
+                sent_bytes=after.sent_bytes - before.sent_bytes,
+                recv_bytes=after.recv_bytes - before.recv_bytes,
+                messages=after.messages - before.messages,
+            )
+            if phase in self.last_comm:
+                self.last_comm[phase] = self.last_comm[phase] + delta
+            else:
+                self.last_comm[phase] = delta
+
+    # -- driver ------------------------------------------------------------------
+    def run(self, ballistic: bool = False):
+        """Iterate GF ⇄ SSE to self-consistency, distributed over P ranks.
+
+        Follows the serial :meth:`~repro.negf.SCBASimulation.run` state
+        machine exactly (same residual, same mixing, same break points),
+        so the returned :class:`~repro.negf.SCBAResult` matches the
+        serial one to ≤ 1e-10.
+        """
+        from ..negf.scba import SCBAResult  # scba layers on the runtime
+
+        t = self._ensure_transport()
+        s = self.s
+        P = self.P
+        t.call_all("begin_run", [(dict(vars(s)),)] * P)
+        t.comm.reset()
+        self.last_comm = {}
+        self.n_sse_iterations = 0
+
+        history: List[float] = []
+        converged = False
+        iterations = 0
+        max_iter = 1 if ballistic else s.max_iterations
+        for it in range(max_iter):
+            iterations = it + 1
+            parts = t.call_all("solve_gf", [()] * P)
+            if parts[0][0]:  # every rank saw a previous iteration
+                with self._meter("residual"):
+                    # allreduce of the 2-float residual contribution
+                    for r in range(1, P):
+                        t.charge(r, 0, 16)
+                    for r in range(1, P):
+                        t.charge(0, r, 16)
+                num = float(np.sqrt(sum(p[1] for p in parts)))
+                den = max(float(np.sqrt(sum(p[2] for p in parts))), 1e-300)
+                history.append(num / den)
+                if history[-1] < s.tolerance:
+                    converged = True
+                    break
+            if ballistic:
+                converged = True
+                break
+            with self._meter("sse"):
+                t.call_all("sse_begin", [()] * P)
+                self.exchange.run_iteration(t)
+                t.call_all("finish_iteration", [()] * P)
+            self.n_sse_iterations += 1
+
+        with self._meter("gather"):
+            tensors = self._gather(t)
+
+        from ..negf.scba import density_observable, dissipation_observable
+
+        Gl, Gg, I_L, I_R, Sl, Sg, Dl, Dg, Pl, Pg = tensors
+        grid_energies = np.linspace(s.e_min, s.e_max, s.NE)
+        dE = grid_energies[1] - grid_energies[0] if s.NE > 1 else 1.0
+        zero_sig = np.zeros_like(Gl)
+        zero_pi = np.zeros_like(Dl)
+        return SCBAResult(
+            Gl=Gl,
+            Gg=Gg,
+            Dl=Dl,
+            Dg=Dg,
+            Sigma_l=Sl if Sl is not None else zero_sig,
+            Sigma_g=Sg if Sg is not None else zero_sig,
+            Pi_l=Pl if Pl is not None else zero_pi,
+            Pi_g=Pg if Pg is not None else zero_pi,
+            iterations=iterations,
+            converged=converged,
+            history=history,
+            current_left=I_L,
+            current_right=I_R,
+            density=density_observable(Gl, dE, s.Nkz),
+            dissipation=dissipation_observable(
+                Gl, Gg, Sl, Sg, grid_energies, dE, s.Nkz
+            ),
+        )
+
+    # -- final assembly -----------------------------------------------------------
+    def _gather(self, t: Transport):
+        """Collect every shard at rank 0 and assemble the global tensors."""
+        s, model = self.s, self.model
+        P = self.P
+        NA, Norb = model.structure.NA, model.Norb
+        NB, N3D = model.structure.NB, model.N3D
+
+        Gl = np.zeros((s.Nkz, s.NE, NA, Norb, Norb), dtype=np.complex128)
+        Gg = np.zeros_like(Gl)
+        I_L = np.zeros((s.Nkz, s.NE))
+        I_R = np.zeros_like(I_L)
+        Sl = np.zeros_like(Gl)
+        Sg = np.zeros_like(Gl)
+        have_sigma = True
+        for r in range(P):
+            shard = t.call(r, "result_shard")
+            for value in shard.values():
+                if value is not None:
+                    t.charge(r, 0, value.nbytes)
+            k, _ = self.gf_decomp.coords(r)
+            esl = self.gf_decomp.energy_slice(r)
+            Gl[k, esl] = shard["Gl"]
+            Gg[k, esl] = shard["Gg"]
+            I_L[k, esl] = shard["I_L"]
+            I_R[k, esl] = shard["I_R"]
+            if shard["Sl"] is None:
+                have_sigma = False
+            else:
+                Sl[k, esl] = shard["Sl"]
+                Sg[k, esl] = shard["Sg"]
+
+        Dl = np.zeros((s.Nqz, s.Nw, NA, NB + 1, N3D, N3D), dtype=np.complex128)
+        Dg = np.zeros_like(Dl)
+        Pl = np.zeros_like(Dl)
+        Pg = np.zeros_like(Dl)
+        have_pi = True
+        for r in range(P):
+            rows = t.call(r, "phonon_shard")
+            for (q, w), (dl, dg, pl, pg) in rows.items():
+                for value in (dl, dg, pl, pg):
+                    if value is not None:
+                        t.charge(r, 0, value.nbytes)
+                Dl[q, w] = dl
+                Dg[q, w] = dg
+                if pl is None:
+                    have_pi = False
+                else:
+                    Pl[q, w] = pl
+                    Pg[q, w] = pg
+        return (
+            Gl, Gg, I_L, I_R,
+            Sl if have_sigma else None,
+            Sg if have_sigma else None,
+            Dl, Dg,
+            Pl if have_pi else None,
+            Pg if have_pi else None,
+        )
+
+    # -- accounting ---------------------------------------------------------------
+    def comm_stats(self) -> Dict[str, CommStats]:
+        """Per-phase per-rank stats of the last run (copy-safe view)."""
+        return dict(self.last_comm)
+
+    def boundary_counters(self) -> Dict[str, int]:
+        """Summed per-rank boundary-cache counters (0 before any run)."""
+        out = {"el_solves": 0, "el_hits": 0, "ph_solves": 0, "ph_hits": 0}
+        if self._transport is not None:
+            for counters in self._transport.call_all("counters", [()] * self.P):
+                for key, value in counters.items():
+                    out[key] += value
+        return out

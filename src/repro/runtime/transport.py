@@ -1,0 +1,240 @@
+"""Pluggable rank transports for the distributed SCBA runtime.
+
+A transport hosts the per-rank workers and carries every payload the
+communication schedules move between them, metering each logical
+``src -> dst`` transfer through a :class:`~repro.parallel.simmpi.SimComm`
+(the paper's per-rank byte accounting):
+
+* :class:`SimTransport` — all ranks live in this process.  Calls are
+  direct method invocations, so results and byte counts are exactly
+  reproducible (the bit-exact accounting reference).
+* :class:`PipeTransport` — each rank is a forked worker process holding
+  its own resident state; commands and payloads physically cross
+  ``multiprocessing`` pipes.  ``call_all`` dispatches to every rank
+  before collecting, so the compute-heavy steps (the per-rank RGF rows
+  and the DaCe tile kernels) genuinely run in parallel.
+
+Both meter the same logical rank-to-rank bytes, so measured volumes are
+transport-independent and comparable against the closed-form §4.1 models
+(:func:`repro.model.communication.omen_exchange_stats` /
+:func:`~repro.model.communication.dace_exchange_stats`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+import weakref
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..config import RUNTIMES
+from ..parallel.schedules import LocalTransport
+from ..parallel.simmpi import CommStats, SimComm
+
+__all__ = [
+    "TransportError",
+    "Transport",
+    "SimTransport",
+    "PipeTransport",
+    "TRANSPORTS",
+    "make_transport",
+]
+
+
+class TransportError(RuntimeError):
+    """A transport could not be created or a worker failed irrecoverably."""
+
+
+class Transport:
+    """Base class: worker lifecycle + metered data movement."""
+
+    name = "base"
+
+    def __init__(self, P: int):
+        self.comm = SimComm(P)
+
+    @property
+    def P(self) -> int:
+        return self.comm.P
+
+    @property
+    def stats(self) -> CommStats:
+        return self.comm.stats
+
+    def charge(self, src: int, dst: int, nbytes: int) -> None:
+        """Meter one logical rank-to-rank transfer (self-sends free)."""
+        self.comm.charge(src, dst, int(nbytes))
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self, factory: Callable[[int], object]) -> None:
+        """Create the ``P`` rank workers from ``factory(rank)``."""
+        raise NotImplementedError
+
+    def call(self, rank: int, method: str, *args):
+        """Invoke ``method(*args)`` on one rank's worker."""
+        raise NotImplementedError
+
+    def call_all(self, method: str, args_list: Sequence[Tuple]):
+        """Invoke ``method`` on every rank (parallel where possible)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers (idempotent)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class SimTransport(Transport):
+    """In-process ranks: sequential execution, bit-exact accounting.
+
+    Dispatch and metering are the schedules' own
+    :class:`~repro.parallel.schedules.LocalTransport` (one shared
+    implementation for the one-shot phases and the resident runtime);
+    this class only adds the worker lifecycle.
+    """
+
+    name = "sim"
+
+    def __init__(self, P: int):
+        super().__init__(P)
+        self._local: Optional[LocalTransport] = None
+
+    def start(self, factory: Callable[[int], object]) -> None:
+        self._local = LocalTransport(
+            self.comm, [factory(rank) for rank in range(self.P)]
+        )
+
+    def call(self, rank: int, method: str, *args):
+        return self._local.call(rank, method, *args)
+
+    def call_all(self, method: str, args_list: Sequence[Tuple]):
+        return self._local.call_all(method, args_list)
+
+    def close(self) -> None:
+        self._local = None
+
+
+def _pipe_worker_main(factory, rank: int, conn) -> None:
+    """Worker loop: build the resident rank state, serve commands."""
+    try:
+        worker = factory(rank)
+    except BaseException:  # noqa: BLE001 - report construction failures too
+        conn.send((False, traceback.format_exc()))
+        conn.close()
+        return
+    conn.send((True, None))  # construction handshake
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        method, args = msg
+        try:
+            conn.send((True, getattr(worker, method)(*args)))
+        except BaseException:  # noqa: BLE001 - ship the traceback upward
+            conn.send((False, traceback.format_exc()))
+    conn.close()
+
+
+def _terminate_procs(procs):
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+
+
+class PipeTransport(Transport):
+    """Forked rank processes connected through multiprocessing pipes.
+
+    Every command and payload is pickled across a pipe, so the schedule
+    exchanges move real bytes between address spaces; ``call_all``
+    overlaps the ranks' compute.  Requires the ``fork`` start method (the
+    model and decompositions are inherited, never pickled); platforms
+    without it raise a :class:`TransportError` — use ``sim`` there.
+    """
+
+    name = "pipe"
+
+    def __init__(self, P: int):
+        super().__init__(P)
+        self._conns = None
+        self._procs = None
+
+    def start(self, factory: Callable[[int], object]) -> None:
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise TransportError(
+                "the pipe transport needs the fork start method; "
+                "use runtime='sim' on this platform"
+            ) from exc
+        conns, procs = [], []
+        for rank in range(self.P):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_pipe_worker_main,
+                args=(factory, rank, child),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+        self._conns, self._procs = conns, procs
+        weakref.finalize(self, _terminate_procs, procs)
+        for rank, conn in enumerate(conns):
+            ok, err = conn.recv()
+            if not ok:
+                self.close()
+                raise TransportError(f"rank {rank} failed to start:\n{err}")
+
+    def _recv(self, rank: int):
+        ok, payload = self._conns[rank].recv()
+        if not ok:
+            raise TransportError(f"rank {rank} worker failed:\n{payload}")
+        return payload
+
+    def call(self, rank: int, method: str, *args):
+        self._conns[rank].send((method, args))
+        return self._recv(rank)
+
+    def call_all(self, method: str, args_list: Sequence[Tuple]):
+        for rank, args in enumerate(args_list):
+            self._conns[rank].send((method, args))
+        return [self._recv(rank) for rank in range(self.P)]
+
+    def close(self) -> None:
+        if self._conns is None:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._conns = self._procs = None
+
+
+TRANSPORTS = {
+    SimTransport.name: SimTransport,
+    PipeTransport.name: PipeTransport,
+}
+
+
+def make_transport(name: str, P: int) -> Transport:
+    """Instantiate the transport behind runtime ``name`` for ``P`` ranks."""
+    try:
+        cls = TRANSPORTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown runtime transport {name!r}; expected one of "
+            f"{tuple(TRANSPORTS)} (RUNTIMES={RUNTIMES})"
+        ) from None
+    return cls(P)

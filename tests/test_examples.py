@@ -37,6 +37,7 @@ def test_examples_present():
         "self_heating.py",
         "communication_planning.py",
         "sdfg_transformations.py",
+        "distributed_runtime.py",
     } <= names
 
 
@@ -62,6 +63,13 @@ def test_finfet_iv_example():
     assert "ballistic transport sane" in out
     # Sweep-level reuse: boundary solves reported once per grid point.
     assert "boundary solves: 120 (= 2 x Nkz x NE = 120)" in out
+
+
+def test_distributed_runtime_example():
+    out = _run("distributed_runtime.py")
+    assert "runtime: P=4 ranks" in out
+    assert "bytes==model" in out
+    assert "distributed runtime sane" in out
 
 
 @pytest.mark.slow

@@ -10,6 +10,7 @@ from repro.parallel import (
     SimComm,
     dace_sse_phase,
     omen_sse_phase,
+    partition_spectral_grid,
 )
 from tests.conftest import complex_array
 
@@ -50,6 +51,19 @@ class TestSimComm:
         c = SimComm(2)
         with pytest.raises(ValueError):
             c.alltoallv([[None]])
+
+    def test_gather(self):
+        c = SimComm(3)
+        out = c.gather(1, [np.full(2, r, dtype=np.float64) for r in range(3)])
+        assert [list(o) for o in out] == [[0, 0], [1, 1], [2, 2]]
+        # the root's own contribution moves no bytes
+        assert c.stats.recv_bytes[1] == 2 * 2 * 8
+        assert c.stats.sent_bytes[1] == 0
+
+    def test_gather_needs_one_value_per_rank(self):
+        c = SimComm(2)
+        with pytest.raises(ValueError):
+            c.gather(0, [np.ones(1)])
 
     def test_reduce_sum(self):
         c = SimComm(4)
@@ -122,6 +136,45 @@ class TestDecompositions:
     def test_dace_indivisible_raises(self):
         with pytest.raises(ValueError):
             DaceDecomposition(NE=10, NA=8, TE=3, TA=2, Nw=1)
+
+
+class TestPartitionSpectralGrid:
+    def test_more_ranks_than_grid_points(self):
+        """The decomposition caps at one energy point per rank."""
+        d = partition_spectral_grid(2, 4, 100)
+        assert d.P == 8
+        assert d.chunk == 1
+        assert d.n_chunks == 4
+
+    def test_uneven_chunk_requests_fall_back_to_divisors(self):
+        """Budgets that would split NE unevenly pick the largest divisor."""
+        d = partition_spectral_grid(1, 10, 8)
+        assert d.P == 5  # 6, 7, 8 chunks do not divide NE=10
+        assert d.chunk == 2
+
+    def test_single_rank_budget_keeps_momentum_rows(self):
+        """The P = Nkz fallback is always produced, even over budget."""
+        d = partition_spectral_grid(3, 10, 1)
+        assert d.P == 3
+        assert d.n_chunks == 1
+        assert d.chunk == 10
+
+    def test_single_point_degenerate_grid(self):
+        d = partition_spectral_grid(1, 1, 4)
+        assert d.P == 1
+        assert d.energy_slice(0) == slice(0, 1)
+
+    def test_every_point_owned_exactly_once(self):
+        d = partition_spectral_grid(2, 12, 7)  # largest fit: 2 kz x 3 chunks
+        assert d.P == 6
+        seen = set()
+        for rank in range(d.P):
+            k, _ = d.coords(rank)
+            esl = d.energy_slice(rank)
+            for e in range(esl.start, esl.stop):
+                assert d.owner_of_energy(k, e) == rank
+                seen.add((k, e))
+        assert len(seen) == 2 * 12  # the full (kz, E) grid, no overlaps
 
 
 @pytest.fixture(scope="module")
