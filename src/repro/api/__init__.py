@@ -26,6 +26,7 @@ from .plan import (
     PlanGroup,
     STRUCTURAL_FIELDS,
     choose_engine,
+    choose_rgf_kernel,
     compile_workload,
 )
 from .session import RunResult, Session, SweepResult
@@ -61,6 +62,7 @@ __all__ = [
     "PlanGroup",
     "STRUCTURAL_FIELDS",
     "choose_engine",
+    "choose_rgf_kernel",
     "compile_workload",
     "Session",
     "RunResult",

@@ -56,6 +56,7 @@ __all__ = [
     "STRUCTURAL_FIELDS",
     "compile_workload",
     "choose_engine",
+    "choose_rgf_kernel",
 ]
 
 
@@ -96,6 +97,38 @@ def choose_engine(Nkz: int, NE: int) -> str:
     if Nkz * NE >= _MULTIPROCESS_MIN_POINTS and (os.cpu_count() or 1) >= 4:
         return "multiprocess"
     return "batched"
+
+
+#: csrmm pays off only for blocks at least this large with couplings at
+#: most this dense (cf. repro.negf.sparse_kernels.select_strategy — the
+#: plan-time thresholds are slightly conservative since the density here
+#: is the analytic structural estimate, not the assembled blocks')
+_CSRMM_MIN_BLOCK = 96
+_CSRMM_MAX_DENSITY = 0.05
+
+
+def choose_rgf_kernel(device) -> str:
+    """Deterministic RGF-kernel heuristic used when nothing is specified.
+
+    ``REPRO_RGF_KERNEL`` (validated) wins if set; otherwise the Table-6
+    ``csrmm`` kernel when the device's RGF blocks are large and its
+    coupling blocks sparse (per the analytic
+    :func:`repro.negf.coupling_density_estimate` — no device build
+    needed), and the factorization-reuse ``numpy`` kernel everywhere
+    else.
+    """
+    from ..config import default_rgf_kernel
+    from ..negf.structure import coupling_density_estimate
+
+    if os.environ.get("REPRO_RGF_KERNEL", "").strip():
+        return default_rgf_kernel()
+    block = device.slab_width * device.ny_rows * device.Norb
+    density = coupling_density_estimate(
+        device.ny_rows, device.slab_width, device.NB
+    )
+    if block >= _CSRMM_MIN_BLOCK and density <= _CSRMM_MAX_DENSITY:
+        return "csrmm"
+    return "numpy"
 
 
 @dataclass(frozen=True)
@@ -173,6 +206,8 @@ class Plan:
 
     workload: Workload
     engine: str
+    #: RGF kernel of the batched solves (see :mod:`repro.negf.kernels`)
+    rgf_kernel: str
     cache_boundary: bool
     cache_operators: bool
     ballistic: bool
@@ -232,7 +267,8 @@ class Plan:
             f"  device : NA={w.device.NA} atoms, NB={w.device.NB}, "
             f"Norb={w.device.Norb}, bnum={w.device.bnum}",
             f"  engine : {self.engine} "
-            f"(cache_boundary={self.cache_boundary}, "
+            f"(rgf_kernel={self.rgf_kernel}, "
+            f"cache_boundary={self.cache_boundary}, "
             f"cache_operators={self.cache_operators})",
         ]
         if self.runtime != "serial":
@@ -303,6 +339,7 @@ class Plan:
         return {
             "workload": self.workload.to_dict(),
             "engine": self.engine,
+            "rgf_kernel": self.rgf_kernel,
             "sse_backend": self.sse_backend,
             "cache_boundary": self.cache_boundary,
             "cache_operators": self.cache_operators,
@@ -385,6 +422,7 @@ def _plan_runtime_group(
 def compile_workload(
     workload: Workload,
     engine: Optional[str] = None,
+    rgf_kernel: Optional[str] = None,
     cache_boundary: bool = True,
     cache_operators: bool = True,
     max_workers: Optional[int] = None,
@@ -394,6 +432,12 @@ def compile_workload(
     schedule: Optional[str] = None,
 ) -> Plan:
     """Compile a workload: validate, select execution, group for reuse.
+
+    ``rgf_kernel`` selects the RGF recursion of the batched solves
+    (see :mod:`repro.negf.kernels`; ``None`` picks via
+    :func:`choose_rgf_kernel`).  Unknown or unavailable names — e.g.
+    ``"numba"`` without the optional numba package — raise a
+    :class:`PlanError` at compile time, not mid-run.
 
     ``sse_backend`` selects the SDFG execution backend the sessions use
     when the workload's physics asks for ``sse_variant="sdfg"``
@@ -419,6 +463,21 @@ def compile_workload(
             )
     else:
         engine = choose_engine(workload.grid.Nkz, workload.grid.NE)
+    if rgf_kernel is not None:
+        from ..negf.kernels import available_kernels
+
+        if rgf_kernel not in available_kernels():
+            hint = (
+                " (the numba kernel requires the optional numba package)"
+                if rgf_kernel == "numba"
+                else ""
+            )
+            raise PlanError(
+                f"unknown rgf_kernel {rgf_kernel!r}; expected one of "
+                f"{available_kernels()}{hint}"
+            )
+    else:
+        rgf_kernel = choose_rgf_kernel(workload.device)
     if sse_backend is not None:
         from ..sdfg.backends import BackendError, get_backend
 
@@ -457,6 +516,7 @@ def compile_workload(
     for key, members in grouped.items():
         base = dict(members[0].settings)
         base["engine"] = engine
+        base["rgf_kernel"] = rgf_kernel
         base["cache_boundary"] = cache_boundary
         base["cache_operators"] = cache_operators
         base["max_workers"] = max_workers
@@ -571,6 +631,7 @@ def compile_workload(
     return Plan(
         workload=workload,
         engine=engine,
+        rgf_kernel=rgf_kernel,
         cache_boundary=cache_boundary,
         cache_operators=cache_operators,
         ballistic=workload.ballistic,

@@ -57,6 +57,8 @@ class RunResult:
     #: per-phase per-rank communication accounting of a distributed run
     #: ({"sse"/"residual"/"gather": CommStats dict}; None for serial runs)
     comm: Optional[Dict[str, Any]] = None
+    #: RGF kernel the point's solves ran through (None for legacy results)
+    rgf_kernel: Optional[str] = None
 
     @property
     def total_current_left(self) -> float:
@@ -71,6 +73,7 @@ class RunResult:
         cls, index: int, coords: Dict[str, float], res: SCBAResult,
         elapsed: float, keep_arrays: bool = True,
         comm: Optional[Dict[str, Any]] = None,
+        rgf_kernel: Optional[str] = None,
     ) -> "RunResult":
         return cls(
             index=index,
@@ -83,6 +86,7 @@ class RunResult:
             elapsed_seconds=elapsed,
             result=res if keep_arrays else None,
             comm=comm,
+            rgf_kernel=rgf_kernel,
         )
 
     def to_dict(self, include_arrays: bool = False) -> Dict[str, Any]:
@@ -96,6 +100,8 @@ class RunResult:
             "total_dissipation": self.total_dissipation,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.rgf_kernel is not None:
+            out["rgf_kernel"] = self.rgf_kernel
         if self.comm is not None:
             out["comm"] = {k: dict(v) for k, v in self.comm.items()}
         if include_arrays and self.result is not None:
@@ -116,6 +122,7 @@ class RunResult:
             elapsed_seconds=d.get("elapsed_seconds", 0.0),
             result=SCBAResult.from_dict(res) if res is not None else None,
             comm=d.get("comm"),
+            rgf_kernel=d.get("rgf_kernel"),
         )
 
 
@@ -302,7 +309,8 @@ class Session:
                 phase: stats.to_dict() for phase, stats in sim.last_comm.items()
             }
         return RunResult.from_scba(
-            index, coords, res, elapsed, keep_arrays=keep_arrays, comm=comm
+            index, coords, res, elapsed, keep_arrays=keep_arrays, comm=comm,
+            rgf_kernel=sim.s.rgf_kernel,
         )
 
     # -- verification --------------------------------------------------------------

@@ -15,9 +15,11 @@ from typing import Dict, Tuple
 __all__ = [
     "PARAMETER_RANGES",
     "EXECUTION_BACKENDS",
+    "RGF_KERNELS",
     "RUNTIMES",
     "SSE_SCHEDULES",
     "default_engine",
+    "default_rgf_kernel",
     "default_runtime",
     "validate_parameters",
     "SimulationParameters",
@@ -47,6 +49,35 @@ def default_engine() -> str:
         raise ValueError(
             f"REPRO_ENGINE={env!r} is not a valid backend; "
             f"expected one of {EXECUTION_BACKENDS}"
+        )
+    return env
+
+
+#: RGF solver kernels (``repro.negf.kernels``): ``reference`` is the
+#: seed recursion with per-block ``solve(A, I)`` inverses (bit-exactness
+#: oracle), ``numpy`` factorizes each diagonal block once and reuses the
+#: explicit factor product across the forward/backward passes, ``csrmm``
+#: additionally routes the sparse coupling-block foldings through the
+#: Table-6 CSRMM strategy, and ``numba`` JIT-compiles the batched
+#: recursion (registered only when numba is importable).
+RGF_KERNELS: Tuple[str, ...] = ("reference", "numpy", "csrmm", "numba")
+
+
+def default_rgf_kernel() -> str:
+    """RGF kernel used when ``SCBASettings.rgf_kernel`` is not set.
+
+    Overridable through the ``REPRO_RGF_KERNEL`` environment variable (an
+    explicitly set but unknown value raises, mirroring ``REPRO_ENGINE``);
+    the built-in default is ``numpy`` (validated against ``reference`` to
+    1e-10 in ``tests/test_kernels.py``).
+    """
+    env = os.environ.get("REPRO_RGF_KERNEL", "").strip().lower()
+    if not env:
+        return "numpy"
+    if env not in RGF_KERNELS:
+        raise ValueError(
+            f"REPRO_RGF_KERNEL={env!r} is not a valid RGF kernel; "
+            f"expected one of {RGF_KERNELS}"
         )
     return env
 

@@ -18,6 +18,14 @@ from .engine import (
     make_engine,
 )
 from .hamiltonian import BlockTridiagonal, HamiltonianModel, build_hamiltonian_model
+from .kernels import (
+    KernelError,
+    RGFKernel,
+    available_kernels,
+    default_rgf_kernel,
+    get_kernel,
+    register_kernel,
+)
 from .rgf import (
     BatchedRGFResult,
     RGFResult,
@@ -35,7 +43,12 @@ from .scba import (
     encode_array,
     fermi,
 )
-from .sparse_kernels import METHODS, generate_rgf_operands, three_matrix_product
+from .sparse_kernels import (
+    METHODS,
+    generate_rgf_operands,
+    select_strategy,
+    three_matrix_product,
+)
 from .sse import (
     pi_sse,
     preprocess_phonon_green,
@@ -43,9 +56,17 @@ from .sse import (
     sigma_sse,
     sse_flop_estimate,
 )
-from .structure import DeviceStructure, build_device
+from .structure import DeviceStructure, build_device, coupling_density_estimate
 
 __all__ = [
+    "KernelError",
+    "RGFKernel",
+    "available_kernels",
+    "default_rgf_kernel",
+    "get_kernel",
+    "register_kernel",
+    "select_strategy",
+    "coupling_density_estimate",
     "lead_self_energy",
     "lead_self_energy_batched",
     "sancho_rubio",

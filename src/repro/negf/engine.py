@@ -31,7 +31,13 @@ This module turns that sweep into an explicit execution layer:
 
 Backends are selected with ``SCBASettings.engine`` (default from
 :func:`repro.config.default_engine`, overridable via ``REPRO_ENGINE``);
-``tests/test_engine.py`` pins batched == serial to 1e-10.
+``tests/test_engine.py`` pins batched == serial to 1e-10.  Orthogonally
+to the backend, the RGF recursion itself is pluggable
+(:mod:`repro.negf.kernels`, ``SCBASettings.rgf_kernel`` /
+``REPRO_RGF_KERNEL``): the batched backends solve their stacked systems
+and boundary decimations through the selected kernel, while
+:class:`SerialEngine` stays pinned to the ``reference`` kernel — it is
+the oracle everything else is validated against.
 
 Every engine is a context manager: ``close()`` releases backend
 resources deterministically (the multiprocess worker pool in
@@ -54,6 +60,7 @@ from ..config import EXECUTION_BACKENDS
 from ..parallel.decomposition import OmenDecomposition, partition_spectral_grid
 from ..parallel.simmpi import SimComm
 from .boundary import lead_self_energy, lead_self_energy_batched
+from .kernels import get_kernel
 from .rgf import _H, rgf_solve, rgf_solve_batched
 
 __all__ = [
@@ -177,9 +184,12 @@ class BoundaryCache:
     for benchmarking.
     """
 
-    def __init__(self, settings, enabled: bool = True):
+    def __init__(self, settings, enabled: bool = True, kernel=None):
         self.s = settings
         self.enabled = enabled
+        #: RGF kernel whose ``invert`` seam the batched decimation uses
+        #: (None = the plain ``solve(A, I)`` path)
+        self.kernel = kernel
         self._el: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._ph: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         #: per-point solver invocations (left + right each count one)
@@ -235,11 +245,11 @@ class BoundaryCache:
             z = E[missing]
             sl = lead_self_energy_batched(
                 z, H.diag[0], H.upper[0], "left", S.diag[0], S.upper[0],
-                eta=s.eta, method=s.boundary_method,
+                eta=s.eta, method=s.boundary_method, kernel=self.kernel,
             )
             sr = lead_self_energy_batched(
                 z, H.diag[-1], H.upper[-1], "right", S.diag[-1], S.upper[-1],
-                eta=s.eta, method=s.boundary_method,
+                eta=s.eta, method=s.boundary_method, kernel=self.kernel,
             )
             self.el_solves += 2 * len(missing)
             if not self.enabled:
@@ -296,11 +306,11 @@ class BoundaryCache:
             z, eta_eff = self._phonon_z_eta(w[missing], s.eta)
             pl = lead_self_energy_batched(
                 z, Phi.diag[0], Phi.upper[0], "left",
-                eta=eta_eff, method=s.boundary_method,
+                eta=eta_eff, method=s.boundary_method, kernel=self.kernel,
             )
             pr = lead_self_energy_batched(
                 z, Phi.diag[-1], Phi.upper[-1], "right",
-                eta=eta_eff, method=s.boundary_method,
+                eta=eta_eff, method=s.boundary_method, kernel=self.kernel,
             )
             self.ph_solves += 2 * len(missing)
             if not self.enabled:
@@ -322,10 +332,20 @@ class GridEngine:
 
     name = "base"
 
+    #: backends that ignore ``SCBASettings.rgf_kernel`` pin this instead
+    #: (the serial oracle must stay on the reference recursion)
+    pinned_kernel: Optional[str] = None
+
     def __init__(self, grid: SpectralGrid):
         self.grid = grid
+        #: resolved RGF kernel instance for this backend's solves
+        self.kernel = get_kernel(
+            self.pinned_kernel or getattr(grid.s, "rgf_kernel", None)
+        )
         self.boundary = BoundaryCache(
-            grid.s, enabled=getattr(grid.s, "cache_boundary", True)
+            grid.s,
+            enabled=getattr(grid.s, "cache_boundary", True),
+            kernel=self.kernel,
         )
 
     def solve_electrons(self, sigma_r, sigma_l, sigma_g):
@@ -372,9 +392,13 @@ class SerialEngine(GridEngine):
 
     Identical to the original ``SCBASimulation`` solver loops except that
     the boundary self-energies go through the shared :class:`BoundaryCache`.
+    The RGF kernel is pinned to ``reference`` regardless of
+    ``SCBASettings.rgf_kernel`` — this backend *is* the oracle the other
+    kernels are validated against.
     """
 
     name = "serial"
+    pinned_kernel = "reference"
 
     # -- electrons -----------------------------------------------------------
     def solve_electrons(self, sigma_r, sigma_l, sigma_g):
@@ -563,7 +587,7 @@ class BatchedEngine(GridEngine):
                 diag[blk][:, orb, orb] -= sigma_r_row[:, a]
                 sless[blk][:, orb, orb] += sigma_l_row[:, a]
 
-        res = rgf_solve_batched(diag, upper, sless)
+        res = rgf_solve_batched(diag, upper, sless, kernel=self.kernel)
 
         nE = len(e_idx)
         Gl_row = np.zeros((nE, g.NA, g.Norb, g.Norb), dtype=np.complex128)
@@ -638,7 +662,7 @@ class BatchedEngine(GridEngine):
                     diag[blk][:, vib, vib_c] -= pi_r_row[:, a, 1 + b]
                     pless[blk][:, vib, vib_c] += pi_l_row[:, a, 1 + b]
 
-        res = rgf_solve_batched(diag, upper, pless)
+        res = rgf_solve_batched(diag, upper, pless, kernel=self.kernel)
 
         nW = len(w_idx)
         Dl_row = np.zeros(

@@ -1,0 +1,146 @@
+"""Compiled (numba) RGF kernel — optional, gated on importability.
+
+When numba is present, the batched recursion is JIT-compiled once and
+the batch loop runs under ``prange``: each of the B independent
+(E, k_z) / (ω, q_z) points walks the full forward/backward recursion on
+its own thread, with the per-point block chain living in thread-local
+contiguous scratch.  That inverts the vectorization axis of the numpy
+kernels (which batch each *recursion step* across points through one
+big LAPACK/BLAS call) and pays off when blocks are small enough that
+per-call overhead, not flops, dominates.
+
+When numba is absent (the supported no-extra-deps configuration),
+``HAVE_NUMBA`` is False, the kernel is *not* registered, and
+constructing :class:`NumbaKernel` directly raises
+:class:`repro.negf.kernels.KernelError` with an actionable message.
+Nothing in the import path requires numba.
+
+Mixed block sizes cannot be packed into one rectangular scratch array,
+so those systems delegate to the :class:`~.numpy_opt.NumpyKernel`
+recursion — the compiled path covers the uniform-block case that every
+generated device grid produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rgf import _H
+from .numpy_opt import NumpyKernel
+
+__all__ = ["HAVE_NUMBA", "NumbaKernel"]
+
+try:
+    import numba
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised when numba installed
+    numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:
+
+    @njit(cache=True)
+    def _ct(a):
+        """Conjugate transpose, materialized contiguous for matmul."""
+        return np.ascontiguousarray(np.conj(a).T)
+
+    @njit(parallel=True, cache=True)
+    def _rgf_uniform(diag, upper, sless, want_lesser):
+        """Batched RGF on packed ``[N, B, n, n]`` arrays, ``prange`` over B.
+
+        ``upper`` is ``[N-1, B, n, n]`` (2-D couplings pre-broadcast by
+        the caller); ``sless`` is zeros when ``want_lesser`` is False.
+        Returns packed ``(GR, Gl)`` with ``Gl`` zeros when not wanted.
+        """
+        N, B, n, _ = diag.shape
+        GR = np.empty((N, B, n, n), dtype=np.complex128)
+        Gl = np.zeros((N, B, n, n), dtype=np.complex128)
+        for b in prange(B):
+            gR = np.empty((N, n, n), dtype=np.complex128)
+            gl = np.zeros((N, n, n), dtype=np.complex128)
+            # Forward pass: left-connected Green's functions.
+            gR[0] = np.linalg.inv(np.ascontiguousarray(diag[0, b]))
+            if want_lesser:
+                g0 = np.ascontiguousarray(gR[0])
+                gl[0] = g0 @ np.ascontiguousarray(sless[0, b]) @ _ct(g0)
+            for k in range(1, N):
+                Vd = np.ascontiguousarray(upper[k - 1, b])
+                Vl = _ct(Vd)
+                gprev = np.ascontiguousarray(gR[k - 1])
+                gR[k] = np.linalg.inv(
+                    np.ascontiguousarray(diag[k, b]) - Vl @ gprev @ Vd
+                )
+                if want_lesser:
+                    gk = np.ascontiguousarray(gR[k])
+                    S = (
+                        np.ascontiguousarray(sless[k, b])
+                        + Vl @ np.ascontiguousarray(gl[k - 1]) @ Vd
+                    )
+                    gl[k] = gk @ S @ _ct(gk)
+            # Backward pass: fully-connected diagonal blocks.
+            GR[N - 1, b] = gR[N - 1]
+            if want_lesser:
+                Gl[N - 1, b] = gl[N - 1]
+            for k in range(N - 2, -1, -1):
+                Vd = np.ascontiguousarray(upper[k, b])
+                Vl = _ct(Vd)
+                gk = np.ascontiguousarray(gR[k])
+                P = gk @ Vd
+                X = P @ np.ascontiguousarray(GR[k + 1, b]) @ Vl
+                GR[k, b] = gk + X @ gk
+                if want_lesser:
+                    glk = np.ascontiguousarray(gl[k])
+                    t1 = P @ np.ascontiguousarray(Gl[k + 1, b]) @ _ct(P)
+                    t2 = X @ glk
+                    t3 = _ct(X @ _ct(glk))
+                    Gl[k, b] = glk + t1 + t2 + t3
+        return GR, Gl
+
+
+class NumbaKernel(NumpyKernel):
+    """JIT-compiled uniform-block recursion (see module docstring)."""
+
+    name = "numba"
+
+    def __init__(self):
+        if not HAVE_NUMBA:
+            from . import KernelError
+
+            raise KernelError(
+                "the 'numba' RGF kernel requires the optional numba "
+                "package, which is not installed; use the 'numpy' or "
+                "'csrmm' kernel instead"
+            )
+
+    def _solve(
+        self,
+        diag: List[np.ndarray],
+        upper: List[np.ndarray],
+        sigma_lesser: Optional[Sequence[np.ndarray]],
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        n = diag[0].shape[-1]
+        if any(d.shape[-1] != n for d in diag):
+            # Mixed block sizes: no rectangular packing — use the
+            # factorization-reuse numpy recursion instead.
+            return super()._solve(diag, upper, sigma_lesser)
+        N = len(diag)
+        B = diag[0].shape[0]
+        want_lesser = sigma_lesser is not None
+        d = np.ascontiguousarray(np.stack(diag))
+        u = np.empty((max(N - 1, 1), B, n, n), dtype=np.complex128)
+        for k in range(N - 1):
+            u[k] = np.broadcast_to(upper[k], (B, n, n))
+        if want_lesser:
+            s = np.ascontiguousarray(np.stack(sigma_lesser))
+        else:
+            s = np.zeros_like(d)
+        GR, Gl = _rgf_uniform(d, u, s, want_lesser)
+        return (
+            [GR[k] for k in range(N)],
+            [Gl[k] for k in range(N)] if want_lesser else [],
+        )

@@ -1,0 +1,188 @@
+"""Table-6 CSRMM kernel: sparse coupling-block foldings in the real solver.
+
+The DFT Hamiltonian's inter-slab coupling blocks are sparse — only the
+bonds crossing a slab interface populate ``M_{n,n+1}`` (a few percent
+fill, see :meth:`repro.negf.DeviceStructure.coupling_block_density` and
+:meth:`repro.negf.BlockTridiagonal.upper_densities`).  The paper's
+§5.1.2 / Table 6 measures three strategies for the recurring
+``F gᴿ E`` product on exactly such operands and finds CSRMM (sparse x
+dense, ``gᴿ`` kept dense) ahead by 1.98-4.33x; until this kernel, that
+result sat dormant in :mod:`repro.negf.sparse_kernels` as a
+microbenchmark.
+
+This kernel extends the factorization-reuse ``numpy`` recursion by
+detecting sparse coupling blocks at solve time and routing their
+``V† g V`` foldings through
+:func:`repro.negf.sparse_kernels.three_matrix_product`, with the
+strategy auto-selected per block from size and density
+(:func:`repro.negf.sparse_kernels.select_strategy`) — or forced with the
+``strategy`` argument, which is how ``bench_rgf_kernels.py`` reproduces
+the Table-6 ordering *inside* the solver.
+
+On top of the fold strategies, slab-interface couplings carry
+*structured* sparsity: only the last layer of slab ``n`` bonds to the
+first layer of slab ``n+1``, so ``V`` is nonzero on a thin
+``rsup x csup`` rectangle.  When both supports cover at most half the
+block, the backward-pass intermediates ``P = gᴿV`` and ``X = WV†`` are
+kept as thin ``n x |csup|`` / ``n x |rsup|`` panels and every backward
+product contracts over the support dimension instead of the full block
+(an O(n/|sup|) gemm reduction — the dominant win on real devices, where
+``|sup|/n = 1/slab_width``).  ω-independent 2-D couplings
+build one CSR pair per block; E-dependent 3-D electron couplings share
+one sparsity pattern across the batch and rebuild only the ``data``
+vector per batch element (O(nnz) each, negligible next to the O(n³)
+dense factor products).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..sparse_kernels import METHODS, select_strategy, three_matrix_product
+from .numpy_opt import DenseCoupling, NumpyKernel
+
+__all__ = ["CsrmmKernel", "SparseCoupling"]
+
+
+class SparseCoupling:
+    """A sparse super-diagonal block as per-batch CSR operand pairs.
+
+    The nonzero pattern is the union over the batch (E-dependent data on
+    a fixed bond pattern), so ``indptr``/``indices`` are built once and
+    only the data vectors vary per batch element.
+    """
+
+    kind = "sparse"
+
+    def __init__(self, Vd: np.ndarray, strategy: str, density: float):
+        self.strategy = strategy
+        self.density = density
+        stacked = Vd[None] if Vd.ndim == 2 else Vd
+        n, m = stacked.shape[-2:]
+        mask = np.any(stacked != 0, axis=0)
+        rows, cols = np.nonzero(mask)
+        indptr = np.searchsorted(rows, np.arange(n + 1))
+        #: per batch element: (V, V†) CSR pair (length 1 for 2-D blocks,
+        #: broadcast across the batch)
+        self.vd_csr = []
+        self.vl_csr = []
+        for b in range(stacked.shape[0]):
+            v = sp.csr_matrix(
+                (stacked[b][mask], cols.copy(), indptr.copy()), shape=(n, m)
+            )
+            self.vd_csr.append(v)
+            self.vl_csr.append(v.conj(copy=True).transpose().tocsr())
+        # Interface support: coupling blocks of a slab-decomposed device
+        # populate only the rows of the last layer of slab n and the
+        # columns of the first layer of slab n+1.  When both supports are
+        # small, the backward-pass intermediates P = gᴿV and X = WV† live
+        # on thin column spaces, and the recursion projects onto them
+        # (see ``NumpyKernel._solve``).
+        self.rsup = np.unique(rows)
+        self.csup = np.unique(cols)
+        self.projected = (
+            2 * self.rsup.size <= n and 2 * self.csup.size <= m
+        )
+        #: dense interface sub-blocks V[rsup, csup] / V†[csup, rsup],
+        #: shape [L, r, c] / [L, c, r] with L = 1 broadcasting for
+        #: ω-independent couplings
+        sub = stacked[:, self.rsup[:, None], self.csup[None, :]]
+        self.vd_sub = np.ascontiguousarray(sub)
+        self.vl_sub = np.ascontiguousarray(
+            np.conjugate(np.swapaxes(sub, -1, -2))
+        )
+
+    def pv(self, g: np.ndarray) -> np.ndarray:
+        """Thin ``P̃ = g V`` restricted to the support columns: only
+        ``V[rsup, csup]`` is nonzero, so ``g V`` has column support
+        ``csup`` and equals ``g[:, rsup] @ V_sub`` there."""
+        return g[..., :, self.rsup] @ self.vd_sub
+
+    def _pair(self, b: int) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
+        i = b if len(self.vd_csr) > 1 else 0
+        return self.vd_csr[i], self.vl_csr[i]
+
+    def fold(self, g: np.ndarray) -> np.ndarray:
+        """``V† g V`` through the Table-6 three-matrix product."""
+        out = np.empty(
+            (g.shape[0], self.vl_csr[0].shape[0], self.vd_csr[0].shape[1]),
+            dtype=np.complex128,
+        )
+        for b in range(g.shape[0]):
+            vd, vl = self._pair(b)
+            out[b] = three_matrix_product(vl, g[b], vd, self.strategy)
+        return out
+
+    def gv(self, g: np.ndarray) -> np.ndarray:
+        """``g V`` — dense x CSR (the transposed-CSRMM half-product)."""
+        out = np.empty(
+            (g.shape[0], g.shape[1], self.vd_csr[0].shape[1]),
+            dtype=np.complex128,
+        )
+        for b in range(g.shape[0]):
+            out[b] = g[b] @ self._pair(b)[0]
+        return out
+
+    def wv(self, w: np.ndarray) -> np.ndarray:
+        """``w V†`` — dense x CSR."""
+        out = np.empty(
+            (w.shape[0], w.shape[1], self.vl_csr[0].shape[1]),
+            dtype=np.complex128,
+        )
+        for b in range(w.shape[0]):
+            out[b] = w[b] @ self._pair(b)[1]
+        return out
+
+
+def _block_density(u: np.ndarray) -> float:
+    """Union-over-batch nonzero fraction of one coupling block."""
+    mask = np.any(u != 0, axis=0) if u.ndim == 3 else (u != 0)
+    return float(np.count_nonzero(mask)) / mask.size
+
+
+class CsrmmKernel(NumpyKernel):
+    """Factorization-reuse recursion + Table-6 sparse foldings.
+
+    ``strategy="auto"`` (the default) picks dense or CSRMM per coupling
+    block from its size and exact density; forcing ``"dense"``,
+    ``"csrmm"``, or ``"csrgemm"`` applies that Table-6 method to *every*
+    block regardless (the in-solver benchmark mode).  The per-block
+    choices of the most recent solve are exposed as :attr:`last_plan`
+    ``(block_size, density, strategy)`` tuples for tests and benchmarks.
+    """
+
+    name = "csrmm"
+
+    def __init__(self, strategy: str = "auto"):
+        if strategy != "auto" and strategy not in METHODS:
+            raise ValueError(
+                f"unknown fold strategy {strategy!r}; expected 'auto' or "
+                f"one of {METHODS}"
+            )
+        self.strategy = strategy
+        #: per coupling block of the last solve: (min_dim, density, strategy)
+        self.last_plan: Tuple[Tuple[int, float, str], ...] = ()
+
+    def _prepare_couplings(
+        self, upper: Sequence[np.ndarray], batch: int
+    ) -> List[Union[DenseCoupling, SparseCoupling]]:
+        couplings: List[Union[DenseCoupling, SparseCoupling]] = []
+        plan = []
+        for u in upper:
+            density = _block_density(u)
+            size = min(u.shape[-2:])
+            strat = (
+                select_strategy(size, density)
+                if self.strategy == "auto"
+                else self.strategy
+            )
+            if strat == "dense":
+                couplings.append(DenseCoupling(u))
+            else:
+                couplings.append(SparseCoupling(u, strat, density))
+            plan.append((size, density, strat))
+        self.last_plan = tuple(plan)
+        return couplings

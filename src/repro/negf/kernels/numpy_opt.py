@@ -1,0 +1,180 @@
+"""Factorization-reuse numpy kernel: the optimized dense RGF recursion.
+
+Two structural inefficiencies of the reference recursion are removed
+while producing the same diagonal blocks to ≤ 1e-10:
+
+* **Factorize once, reuse everywhere.**  The reference forms every
+  left-connected inverse with a fresh ``gesv`` against the identity
+  (``np.linalg.solve(A, I)``, ≈ 8/3 n³ flops) and then re-multiplies it
+  into each downstream product.  Here each diagonal block is factorized
+  once per solve with a single batched ``getrf`` + ``getri``
+  (``np.linalg.inv``, ≈ 2 n³) — the batched equivalent of
+  ``lu_factor``/``lu_solve``, which LAPACK does not expose in batched
+  form — and the explicit factor product is reused across the forward
+  *and* backward passes through shared intermediates.
+
+* **Shared backward intermediates.**  With ``P = gᴿ V``, ``W = P Gᴿ₊``
+  and ``X = W V†`` the four backward updates collapse to
+
+  ===========  ==================================  =====
+  quantity     expression                          gemms
+  ===========  ==================================  =====
+  ``Gᴿ``       ``gᴿ + X gᴿ``                       4
+  ``t1``       ``(P G<₊) P†``                      2
+  ``t2``       ``X g<``                            1
+  ``t3``       ``(X (g<)†)†``                      1
+  ===========  ==================================  =====
+
+  8 gemms per block instead of the reference's 16 (each ``t`` term and
+  the ``Gᴿ`` update are written as independent 4-gemm chains there).
+
+Matmul workspaces are preallocated per (role, shape) and reused across
+the recursion steps, and ω-independent 2-D coupling blocks stay 2-D so
+their products broadcast (one ``V†`` conjugation per block, not per
+batch element).  Coupling products go through the overridable
+``_prepare_couplings`` hook — the seam the Table-6 ``csrmm`` kernel
+plugs into.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rgf import _H
+from . import RGFKernel
+
+__all__ = ["NumpyKernel", "DenseCoupling"]
+
+
+class DenseCoupling:
+    """One super-diagonal block ``V = M_{n,n+1}`` with its dense products.
+
+    ``V†`` is materialized once (2-D couplings stay 2-D and broadcast
+    across the batch); the three product shapes the recursion needs are
+    methods so sparse couplings can substitute CSR strategies.
+    """
+
+    kind = "dense"
+
+    def __init__(self, Vd: np.ndarray):
+        self.Vd = Vd
+        self.Vl = np.ascontiguousarray(_H(Vd))
+
+    def fold(self, g: np.ndarray) -> np.ndarray:
+        """``V† g V`` — the forward-pass folding product."""
+        return self.Vl @ g @ self.Vd
+
+    def gv(self, g: np.ndarray) -> np.ndarray:
+        """``g V`` — the backward-pass ``P`` intermediate."""
+        return g @ self.Vd
+
+    def wv(self, w: np.ndarray) -> np.ndarray:
+        """``w V†`` — the backward-pass ``X`` intermediate."""
+        return w @ self.Vl
+
+
+class NumpyKernel(RGFKernel):
+    """Optimized dense recursion (see module docstring)."""
+
+    name = "numpy"
+
+    # -- coupling preparation (overridden by the csrmm kernel) ---------------
+    def _prepare_couplings(
+        self, upper: Sequence[np.ndarray], batch: int
+    ) -> List[DenseCoupling]:
+        return [DenseCoupling(u) for u in upper]
+
+    # -- factorization --------------------------------------------------------
+    @staticmethod
+    def _factorize(a: np.ndarray) -> np.ndarray:
+        """One batched ``getrf`` + ``getri`` per block; the explicit
+        factor product is what both passes multiply against."""
+        return np.linalg.inv(a)
+
+    # -- the recursions -------------------------------------------------------
+    def _solve(
+        self,
+        diag: List[np.ndarray],
+        upper: List[np.ndarray],
+        sigma_lesser: Optional[Sequence[np.ndarray]],
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        N = len(diag)
+        B = diag[0].shape[0]
+        want_lesser = sigma_lesser is not None
+        V = self._prepare_couplings(upper, B)
+
+        # Preallocated matmul workspaces, keyed by (role, shape).  Each
+        # role's buffer is fully consumed before the role recurs, so one
+        # buffer per (role, shape) is safe across all recursion steps.
+        ws: Dict[Tuple, np.ndarray] = {}
+
+        def mm(role: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) + (
+                a.shape[-2],
+                b.shape[-1],
+            )
+            key = (role, shape)
+            buf = ws.get(key)
+            if buf is None:
+                buf = ws[key] = np.empty(shape, dtype=np.complex128)
+            return np.matmul(a, b, out=buf)
+
+        # Forward pass: left-connected Green's functions.
+        gR: List[np.ndarray] = [self._factorize(diag[0])]
+        gl: List[np.ndarray] = []
+        if want_lesser:
+            gl.append(mm("gS", gR[0], sigma_lesser[0]) @ _H(gR[0]))
+        for n in range(1, N):
+            c = V[n - 1]
+            gR.append(self._factorize(diag[n] - c.fold(gR[n - 1])))
+            if want_lesser:
+                S = sigma_lesser[n] + c.fold(gl[n - 1])
+                gl.append(mm("gS", gR[n], S) @ _H(gR[n]))
+
+        # Backward pass: fully-connected diagonal blocks through the
+        # shared P/W/X intermediates (see module docstring).
+        GR: List[Optional[np.ndarray]] = [None] * N
+        Gl: List[Optional[np.ndarray]] = [None] * N
+        GR[N - 1] = gR[N - 1]
+        if want_lesser:
+            Gl[N - 1] = gl[N - 1]
+        for n in range(N - 2, -1, -1):
+            c = V[n]
+            gRn = gR[n]
+            if getattr(c, "projected", False):
+                # Interface-support projection (csrmm kernel): V is
+                # nonzero only on rsup x csup, so P = gᴿV has column
+                # support csup and X = PGᴿ₊V† has column support rsup.
+                # Every backward product then contracts over the thin
+                # support dimension instead of the full block:
+                #   X̃  = P̃ Gᴿ₊[c,c] V†[c,r]          (n·c² + n·c·r)
+                #   Gᴿ  = gᴿ + X̃ gᴿ[r,:]              (n²·r)
+                #   t1  = (P̃ G<₊[c,c]) P̃†            (n·c² + n²·c)
+                #   t2  = X̃ g<[r,:],  t3 = -like      (n²·r each)
+                r, ci = c.rsup, c.csup
+                Pt = c.pv(gRn)  # [B, n, |c|]
+                Gc = GR[n + 1][:, ci[:, None], ci[None, :]]
+                Xt = mm("Xt", mm("PGc", Pt, Gc), c.vl_sub)
+                GR[n] = gRn + mm("XG", Xt, gRn[:, r, :])
+                if want_lesser:
+                    gln = gl[n]
+                    Glc = Gl[n + 1][:, ci[:, None], ci[None, :]]
+                    t1 = mm("t1", mm("PG", Pt, Glc), _H(Pt))
+                    t2 = mm("t2", Xt, gln[:, r, :])
+                    t3 = _H(mm("t3", Xt, _H(gln[:, :, r])))
+                    Gl[n] = gln + t1 + t2 + t3
+                continue
+            P = c.gv(gRn)  # gᴿ V
+            W = mm("W", P, GR[n + 1])  # gᴿ V Gᴿ₊
+            X = c.wv(W)  # gᴿ V Gᴿ₊ V†
+            GR[n] = gRn + mm("XG", X, gRn)
+            if want_lesser:
+                gln = gl[n]
+                t1 = mm("t1", mm("PG", P, Gl[n + 1]), _H(P))
+                t2 = mm("t2", X, gln)
+                t3 = _H(mm("t3", X, _H(gln)))
+                Gl[n] = gln + t1 + t2 + t3
+
+        return list(GR), (list(Gl) if want_lesser else [])

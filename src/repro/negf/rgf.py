@@ -13,6 +13,12 @@ solver is validated against dense ``inv``/triple-product references in
 Conventions: the sub-diagonal blocks are ``M_{n+1,n} = (M_{n,n+1})†``,
 which holds for real energies since the retarded self-energies only touch
 the diagonal blocks.
+
+The recursion bodies themselves live in :mod:`repro.negf.kernels`:
+:func:`rgf_solve_batched` dispatches to a pluggable kernel (reference /
+factorization-reuse numpy / Table-6 csrmm / compiled numba) and
+:func:`rgf_solve` is a batch-of-1 view of the reference kernel, so the
+serial oracle and the batched reference can never drift.
 """
 
 from __future__ import annotations
@@ -72,6 +78,11 @@ def rgf_solve(
     sigma_lesser:
         Diagonal blocks of ``Σ<`` (boundary injection + scattering).
         When omitted, only ``Gᴿ`` is computed (``Gl``/``Gg`` empty).
+
+    Implemented as a batch-of-1 view of the *reference* kernel — the
+    stacked ``linalg.solve``/``@`` calls on ``[1, n, n]`` operands run
+    the same per-slice LAPACK/BLAS routines as their 2-D forms, so this
+    is bit-identical to the historical serial recursion.
     """
     N = len(diag)
     if len(upper) != N - 1:
@@ -80,45 +91,13 @@ def rgf_solve(
     if want_lesser and len(sigma_lesser) != N:
         raise ValueError("sigma_lesser must have one block per diagonal block")
 
-    eye = [np.eye(b.shape[0], dtype=np.complex128) for b in diag]
-
-    # Forward pass: left-connected Green's functions.
-    gR: List[np.ndarray] = [np.linalg.solve(diag[0], eye[0])]
-    gl: List[np.ndarray] = []
-    if want_lesser:
-        gl.append(gR[0] @ sigma_lesser[0] @ gR[0].conj().T)
-    for n in range(1, N):
-        Vd = upper[n - 1]  # M_{n-1,n}
-        Vl = Vd.conj().T  # M_{n,n-1}
-        gR.append(np.linalg.solve(diag[n] - Vl @ gR[n - 1] @ Vd, eye[n]))
-        if want_lesser:
-            folded = Vl @ gl[n - 1] @ Vd
-            gl.append(gR[n] @ (sigma_lesser[n] + folded) @ gR[n].conj().T)
-
-    # Backward pass: fully-connected diagonal blocks.
-    GR: List[Optional[np.ndarray]] = [None] * N
-    Gl: List[Optional[np.ndarray]] = [None] * N
-    GR[N - 1] = gR[N - 1]
-    if want_lesser:
-        Gl[N - 1] = gl[N - 1]
-    for n in range(N - 2, -1, -1):
-        Vd = upper[n]  # M_{n,n+1}
-        Vl = Vd.conj().T  # M_{n+1,n}
-        gRn, gRnH = gR[n], gR[n].conj().T
-        GR[n] = gRn + gRn @ Vd @ GR[n + 1] @ Vl @ gRn
-        if want_lesser:
-            gln = gl[n]
-            t1 = gRn @ Vd @ Gl[n + 1] @ Vl @ gRnH
-            t2 = gRn @ Vd @ GR[n + 1] @ Vl @ gln
-            t3 = gln @ Vd @ GR[n + 1].conj().T @ Vl @ gRnH
-            Gl[n] = gln + t1 + t2 + t3
-
-    if not want_lesser:
-        return RGFResult(GR=list(GR), Gl=[], Gg=[])
-
-    # G> - G< = GR - GA  (fluctuation-dissipation bookkeeping identity).
-    Gg = [Gl[n] + GR[n] - GR[n].conj().T for n in range(N)]
-    return RGFResult(GR=list(GR), Gl=list(Gl), Gg=Gg)
+    res = rgf_solve_batched(
+        [np.asarray(d)[None] for d in diag],
+        [np.asarray(u)[None] for u in upper],
+        [np.asarray(s)[None] for s in sigma_lesser] if want_lesser else None,
+        kernel="reference",
+    )
+    return res.point(0)
 
 
 @dataclass
@@ -154,6 +133,7 @@ def rgf_solve_batched(
     diag: Sequence[np.ndarray],
     upper: Sequence[np.ndarray],
     sigma_lesser: Optional[Sequence[np.ndarray]] = None,
+    kernel=None,
 ) -> BatchedRGFResult:
     """RGF over a stack of block-tridiagonal systems at once.
 
@@ -175,68 +155,14 @@ def rgf_solve_batched(
     sigma_lesser:
         Stacked diagonal ``Σ<`` blocks ``[batch, ni, ni]``; when omitted
         only ``Gᴿ`` is computed.
+    kernel:
+        Kernel name (see :func:`repro.negf.kernels.available_kernels`),
+        an :class:`repro.negf.kernels.RGFKernel` instance, or ``None``
+        for the configured default (``REPRO_RGF_KERNEL`` / ``"numpy"``).
     """
-    N = len(diag)
-    if len(upper) != N - 1:
-        raise ValueError(f"expected {N - 1} upper blocks, got {len(upper)}")
-    B = diag[0].shape[0]
-    for i, d in enumerate(diag):
-        if d.ndim != 3 or d.shape[0] != B or d.shape[-1] != d.shape[-2]:
-            raise ValueError(
-                f"diag[{i}] must be [batch={B}, n, n], got {d.shape}"
-            )
-    want_lesser = sigma_lesser is not None
-    if want_lesser:
-        if len(sigma_lesser) != N:
-            raise ValueError("sigma_lesser must have one block per diagonal block")
-        for i, sl in enumerate(sigma_lesser):
-            if sl.shape != diag[i].shape:
-                raise ValueError(
-                    f"sigma_lesser[{i}] shape {sl.shape} != diag shape {diag[i].shape}"
-                )
+    from .kernels import get_kernel
 
-    eye = [
-        np.broadcast_to(np.eye(d.shape[-1], dtype=np.complex128), d.shape)
-        for d in diag
-    ]
-
-    # Forward pass: left-connected Green's functions.
-    gR: List[np.ndarray] = [np.linalg.solve(diag[0], eye[0])]
-    gl: List[np.ndarray] = []
-    if want_lesser:
-        gl.append(gR[0] @ sigma_lesser[0] @ _H(gR[0]))
-    for n in range(1, N):
-        Vd = upper[n - 1]  # M_{n-1,n}
-        Vl = _H(Vd)  # M_{n,n-1}
-        gR.append(np.linalg.solve(diag[n] - Vl @ gR[n - 1] @ Vd, eye[n]))
-        if want_lesser:
-            folded = Vl @ gl[n - 1] @ Vd
-            gl.append(gR[n] @ (sigma_lesser[n] + folded) @ _H(gR[n]))
-
-    # Backward pass: fully-connected diagonal blocks.
-    GR: List[Optional[np.ndarray]] = [None] * N
-    Gl: List[Optional[np.ndarray]] = [None] * N
-    GR[N - 1] = gR[N - 1]
-    if want_lesser:
-        Gl[N - 1] = gl[N - 1]
-    for n in range(N - 2, -1, -1):
-        Vd = upper[n]  # M_{n,n+1}
-        Vl = _H(Vd)  # M_{n+1,n}
-        gRn, gRnH = gR[n], _H(gR[n])
-        GR[n] = gRn + gRn @ Vd @ GR[n + 1] @ Vl @ gRn
-        if want_lesser:
-            gln = gl[n]
-            t1 = gRn @ Vd @ Gl[n + 1] @ Vl @ gRnH
-            t2 = gRn @ Vd @ GR[n + 1] @ Vl @ gln
-            t3 = gln @ Vd @ _H(GR[n + 1]) @ Vl @ gRnH
-            Gl[n] = gln + t1 + t2 + t3
-
-    if not want_lesser:
-        return BatchedRGFResult(GR=list(GR), Gl=[], Gg=[])
-
-    # G> - G< = GR - GA  (fluctuation-dissipation bookkeeping identity).
-    Gg = [Gl[n] + GR[n] - _H(GR[n]) for n in range(N)]
-    return BatchedRGFResult(GR=list(GR), Gl=list(Gl), Gg=Gg)
+    return get_kernel(kernel).solve(diag, upper, sigma_lesser)
 
 
 def dense_reference(

@@ -39,7 +39,7 @@ from typing import Any, Dict, List, Literal, Optional
 
 import numpy as np
 
-from ..config import default_engine, default_runtime
+from ..config import default_engine, default_rgf_kernel, default_runtime
 from .engine import SpectralGrid, bose, fermi, make_engine
 from .hamiltonian import HamiltonianModel
 from .sse import pi_sse, preprocess_phonon_green, retarded_from_lesser_greater, sigma_sse
@@ -96,6 +96,12 @@ class SCBASettings:
     engine: Literal["serial", "batched", "multiprocess"] = field(
         default_factory=default_engine
     )
+    #: RGF kernel of the batched backends (see :mod:`repro.negf.kernels`):
+    #: ``reference`` seed recursion, ``numpy`` factorization reuse,
+    #: ``csrmm`` Table-6 sparse foldings, ``numba`` compiled (optional).
+    #: The serial engine stays pinned to ``reference`` — it is the oracle.
+    #: Default follows ``REPRO_RGF_KERNEL`` (invalid values raise).
+    rgf_kernel: str = field(default_factory=default_rgf_kernel)
     #: memoize lead self-energies across Born iterations; ``False``
     #: restores the seed's per-iteration recomputation (benchmarks only)
     cache_boundary: bool = True
