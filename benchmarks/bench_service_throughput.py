@@ -1,0 +1,154 @@
+"""Scheduler throughput: shared rank pools vs isolated per-tenant runs.
+
+Six tenants submit single-point ballistic workloads of the same device
+on the same spectral grid — the classic multi-tenant pattern where every
+job is structurally identical but physically distinct (different bias),
+plus one exact duplicate.  The batch runs twice:
+
+* ``scheduler`` — one :class:`repro.service.SchedulerService` drain:
+  jobs are priced, bin-packed onto shared pools (here one pool, by
+  structural affinity), executed against a common warm boundary cache,
+  and the duplicate is served from the content-addressed result cache;
+* ``isolated``  — one :class:`repro.api.Session` per workload, the
+  pre-service pattern: every tenant pays the full boundary bill.
+
+Asserts the ISSUE 7 acceptance criteria: identical currents to ≤ 1e-10
+while the scheduler performs strictly fewer boundary solves in strictly
+less wall time.  Emits ``BENCH_service.json`` next to this file;
+``REPRO_BENCH_FAST=1`` (the CI smoke mode) runs the same comparison and
+assertions on a smaller grid and leaves the committed record untouched.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.analysis.report import report
+from repro.api import DeviceSpec, GridSpec, PhysicsSpec, Session, Workload
+from repro.service import ResultCache, SchedulerService
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "").strip() not in ("", "0")
+
+_OUT = Path(__file__).resolve().parent / "BENCH_service.json"
+
+#: (tenant, bias) batch: six distinct points + one duplicate of the first
+TENANT_BIASES = (
+    ("alice", 0.00),
+    ("bob", 0.10),
+    ("carol", 0.20),
+    ("dave", 0.30),
+    ("erin", 0.40),
+    ("frank", 0.50),
+    ("alice-again", 0.00),
+)
+
+
+def _workload(tenant: str, bias: float) -> Workload:
+    ne = 8 if FAST else 40
+    return Workload(
+        name=f"svc-{tenant}",
+        device=DeviceSpec(nx_cols=8, ny_rows=4, NB=6, slab_width=2, Norb=2),
+        grid=GridSpec(e_min=-1.6, e_max=1.6, NE=ne, Nkz=3, Nqz=3, Nw=3,
+                      eta=1e-6),
+        physics=PhysicsSpec(transport="ballistic", kT_el=0.05,
+                            mu_left=bias / 2, mu_right=-bias / 2),
+    )
+
+
+def _run_scheduler(batch) -> dict:
+    start = time.perf_counter()
+    with SchedulerService(cache=ResultCache(max_entries=32)) as svc:
+        jobs = [svc.submit(w, tenant=t) for t, w in batch]
+        svc.drain()
+        currents = [j.result.currents_left[0] for j in jobs]
+        stats = svc.stats()
+    return {
+        "seconds": time.perf_counter() - start,
+        "currents": currents,
+        "boundary_solves": stats["boundary_solves"],
+        "boundary_solves_saved": stats["boundary_solves_saved"],
+        "cache_hits": stats["cache"]["hits"],
+        "pools": len(stats["pools"]),
+        "jobs": stats["jobs"],
+    }
+
+
+def _run_isolated(batch) -> dict:
+    start = time.perf_counter()
+    currents, solves = [], 0
+    for _, w in batch:
+        with Session(w.compile(engine="batched")) as session:
+            sweep = session.run()
+        currents.append(sweep.currents_left[0])
+        solves += sweep.boundary_solves
+    return {
+        "seconds": time.perf_counter() - start,
+        "currents": currents,
+        "boundary_solves": solves,
+    }
+
+
+def run_throughput_comparison() -> dict:
+    batch = [(t, _workload(t, b)) for t, b in TENANT_BIASES]
+    scheduler = _run_scheduler(batch)
+    isolated = _run_isolated(batch)
+    dev = float(
+        np.abs(
+            np.asarray(scheduler["currents"])
+            - np.asarray(isolated["currents"])
+        ).max()
+    )
+    return {
+        "tenants": [t for t, _ in TENANT_BIASES],
+        "grid_NE": 8 if FAST else 40,
+        "scheduler": {
+            k: v for k, v in scheduler.items() if k != "currents"
+        },
+        "isolated": {k: v for k, v in isolated.items() if k != "currents"},
+        "max_current_deviation": dev,
+        "speedup": isolated["seconds"] / scheduler["seconds"],
+        "solve_reduction": (
+            isolated["boundary_solves"] / scheduler["boundary_solves"]
+        ),
+    }
+
+
+def test_service_throughput(benchmark):
+    record = benchmark.pedantic(
+        run_throughput_comparison, rounds=1, iterations=1
+    )
+    if not FAST:
+        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    rows = [
+        [
+            label,
+            f"{record[label]['seconds']:.3f}",
+            str(record[label]["boundary_solves"]),
+        ]
+        for label in ("scheduler", "isolated")
+    ]
+    report(
+        render_table(
+            f"Scheduler ({len(TENANT_BIASES)} mixed-tenant jobs, shared "
+            "pools) vs isolated sessions",
+            ["path", "seconds", "boundary solves"],
+            rows,
+        )
+    )
+
+    # ISSUE 7 acceptance: numerically equivalent ...
+    assert record["max_current_deviation"] <= 1e-10
+    # ... strictly fewer boundary solves AND strictly less wall time.
+    assert (
+        record["scheduler"]["boundary_solves"]
+        < record["isolated"]["boundary_solves"]
+    )
+    assert record["scheduler"]["seconds"] < record["isolated"]["seconds"]
+    # the duplicate tenant resolved from the result cache
+    assert record["scheduler"]["cache_hits"] >= 1
+    assert record["scheduler"]["jobs"].get("CACHED", 0) == 1

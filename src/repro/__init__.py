@@ -31,6 +31,10 @@ Packages
     The public facade: declarative ``Workload`` → compiled ``Plan`` →
     executed ``Session`` (with sweeps as first-class axes and named
     scenario presets) — the canonical entry point for every scenario.
+``repro.service``
+    The multi-tenant scheduler above the facade: a cost-model-priced job
+    queue, structural-affinity bin-packing onto shared rank pools, and a
+    content-addressed result cache — many tenants, one machine.
 ``repro.analysis``
     Experiment drivers that regenerate every table/figure of the paper.
 """

@@ -133,9 +133,15 @@ class SweepResult:
     workload: Dict[str, Any]
     runs: List[RunResult]
     #: boundary-cache and operator-assembly counters accumulated over the
-    #: whole sweep — the evidence that sweep-invariant work ran once
+    #: whole sweep (:meth:`Session.reuse_counters`) — the evidence that
+    #: sweep-invariant work ran once; always serialized by :meth:`to_dict`
     reuse: Dict[str, int] = field(default_factory=dict)
     engine: str = ""
+    #: scheduler-service metadata (cache hit/miss, shared-pool savings,
+    #: queue latency) attached by :class:`repro.service.SchedulerService`
+    #: so the savings accounting serializes with the result; None for
+    #: plain :meth:`Session.run` results
+    service: Optional[Dict[str, Any]] = None
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -159,14 +165,32 @@ class SweepResult:
     def currents_right(self) -> np.ndarray:
         return np.array([r.current_right for r in self.runs])
 
+    # -- reuse accounting ---------------------------------------------------------
+    @property
+    def boundary_solves(self) -> int:
+        """Total lead-self-energy solves (electron + phonon) of the sweep."""
+        return self.reuse.get("boundary_el_solves", 0) + self.reuse.get(
+            "boundary_ph_solves", 0
+        )
+
+    @property
+    def boundary_hits(self) -> int:
+        """Total boundary-cache hits (electron + phonon) of the sweep."""
+        return self.reuse.get("boundary_el_hits", 0) + self.reuse.get(
+            "boundary_ph_hits", 0
+        )
+
     # -- persistence ------------------------------------------------------------
     def to_dict(self, include_arrays: bool = False) -> Dict[str, Any]:
-        return {
+        out = {
             "workload": dict(self.workload),
             "engine": self.engine,
             "reuse": dict(self.reuse),
             "runs": [r.to_dict(include_arrays) for r in self.runs],
         }
+        if self.service is not None:
+            out["service"] = dict(self.service)
+        return out
 
     def to_json(self, include_arrays: bool = False, **kwargs) -> str:
         return json.dumps(self.to_dict(include_arrays), **kwargs)
@@ -176,11 +200,13 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "SweepResult":
+        service = d.get("service")
         return cls(
             workload=dict(d["workload"]),
             runs=[RunResult.from_dict(r) for r in d["runs"]],
             reuse=dict(d.get("reuse", {})),
             engine=d.get("engine", ""),
+            service=dict(service) if service is not None else None,
         )
 
     @classmethod

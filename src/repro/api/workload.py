@@ -21,6 +21,7 @@ FinFET I-V curve, the self-heating map) live in a registry:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import asdict, dataclass, field, fields, replace
@@ -328,12 +329,48 @@ class Workload:
             parameters=SimulationParameters(**params) if params else None,
         )
 
-    def to_json(self, **kwargs) -> str:
+    def to_json(self, canonical: bool = False, **kwargs) -> str:
+        """JSON encoding; ``canonical=True`` yields the hashing form.
+
+        The canonical form is byte-stable for identical workloads however
+        they were constructed: keys are sorted, separators are fixed, and
+        every float passes through Python's shortest-round-trip ``repr``
+        (the :mod:`json` default), so a dict-ordering permutation or a
+        ``to_dict``/``from_dict`` round trip cannot change the bytes.
+        """
+        if canonical:
+            return json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
         return json.dumps(self.to_dict(), **kwargs)
 
     @classmethod
     def from_json(cls, text: str) -> "Workload":
         return cls.from_dict(json.loads(text))
+
+    def cache_key(self) -> str:
+        """Content address of this workload's *results*: a sha256 hex digest.
+
+        Hashes the canonical JSON with the purely descriptive ``name``
+        field removed, so two tenants submitting physically identical
+        workloads under different labels share one cache entry.  The
+        planning-only ``parameters`` override *is* included — it never
+        changes the numerics, but keeping it makes the key conservative
+        (a spurious miss costs a re-run; a spurious hit would be wrong).
+        """
+        content = self.to_dict()
+        content.pop("name")
+        canonical = json.dumps(content, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def submit(self, service, **job_kwargs):
+        """Convenience: submit this workload to a scheduler service.
+
+        Equivalent to ``service.submit(self, **job_kwargs)`` — accepts the
+        same ``tenant``/``priority``/``deadline_s`` hints and returns the
+        queued :class:`~repro.service.Job`.
+        """
+        return service.submit(self, **job_kwargs)
 
 
 # -- scenario registry ----------------------------------------------------------

@@ -18,9 +18,13 @@ __all__ = [
     "RGF_KERNELS",
     "RUNTIMES",
     "SSE_SCHEDULES",
+    "SERVICE_MODES",
     "default_engine",
     "default_rgf_kernel",
     "default_runtime",
+    "default_service_mode",
+    "default_service_capacity",
+    "default_service_cache_entries",
     "validate_parameters",
     "SimulationParameters",
     "PAPER_STRUCTURE_4864",
@@ -111,6 +115,80 @@ def default_runtime() -> str:
             f"expected one of {RUNTIMES}"
         )
     return env
+
+#: Execution modes of the multi-tenant scheduler (``repro.service``):
+#: ``sync`` runs jobs inside explicit ``drain()`` calls (deterministic,
+#: the testing mode); ``thread`` drains the queue on a background worker.
+SERVICE_MODES: Tuple[str, ...] = ("sync", "thread")
+
+
+def default_service_mode() -> str:
+    """Scheduler mode used when ``SchedulerService(mode=...)`` is not set.
+
+    Overridable through the ``REPRO_SERVICE_MODE`` environment variable
+    (an explicitly set but unknown value raises, mirroring
+    ``REPRO_ENGINE``); the built-in default is ``sync``.
+    """
+    env = os.environ.get("REPRO_SERVICE_MODE", "").strip().lower()
+    if not env:
+        return "sync"
+    if env not in SERVICE_MODES:
+        raise ValueError(
+            f"REPRO_SERVICE_MODE={env!r} is not a valid scheduler mode; "
+            f"expected one of {SERVICE_MODES}"
+        )
+    return env
+
+
+def default_service_capacity() -> float:
+    """Per-pool capacity (modeled flops) of the scheduler's rank pools.
+
+    Overridable through ``REPRO_SERVICE_CAPACITY`` (a positive float;
+    invalid or non-positive values raise).  The built-in default of
+    ``1e13`` modeled flops comfortably fits several Table-3-priced small
+    workloads per pool while still splitting heavy mixed-tenant batches.
+    """
+    env = os.environ.get("REPRO_SERVICE_CAPACITY", "").strip()
+    if not env:
+        return 1e13
+    try:
+        capacity = float(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVICE_CAPACITY={env!r} is not a valid pool capacity; "
+            "expected a positive float (modeled flops)"
+        ) from None
+    if capacity <= 0:
+        raise ValueError(
+            f"REPRO_SERVICE_CAPACITY={env!r} must be positive (modeled flops)"
+        )
+    return capacity
+
+
+def default_service_cache_entries() -> int:
+    """Entry budget of the scheduler's in-memory result cache.
+
+    Overridable through ``REPRO_SERVICE_CACHE`` (a non-negative int;
+    ``0`` disables result caching; invalid values raise).  The built-in
+    default keeps the 128 most recently used results.
+    """
+    env = os.environ.get("REPRO_SERVICE_CACHE", "").strip()
+    if not env:
+        return 128
+    try:
+        entries = int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVICE_CACHE={env!r} is not a valid cache size; "
+            "expected a non-negative integer entry count"
+        ) from None
+    if entries < 0:
+        raise ValueError(
+            f"REPRO_SERVICE_CACHE={env!r} must be non-negative "
+            "(0 disables result caching)"
+        )
+    return entries
+
 
 def validate_parameters(base=None, **overrides) -> "SimulationParameters":
     """Construct (or refine) a :class:`SimulationParameters`, with context.

@@ -1,0 +1,238 @@
+"""Cost-aware bin-packing of priced jobs onto shared rank pools.
+
+Every job is priced by the models the compile step already evaluates:
+the Table-3 flop counts summed over all sweep points
+(:attr:`repro.api.PlanCost.total_flops`), the §4.1 inter-rank
+communication volumes of the plan's runtime schedule (OMEN broadcast
+rounds or the DaCe ``TE x TA`` tile exchange), and the modeled per-stage
+SSE data movement at the planned dimensions.  Flops are the capacity
+currency; the byte figures ride along for inspection and stats.
+
+Placement is first-fit-decreasing with a greedy *structural-affinity*
+bonus: among the pools with room, a job prefers the one already hosting
+(or already assigned) its structural group — the
+:func:`~repro.service.pool.structural_key` that makes executor sharing
+legal — with the largest key overlap winning.  Co-scheduling jobs that
+share a group onto the same pool is what makes cross-tenant
+operator/boundary reuse happen *by construction* rather than by luck.
+
+Jobs larger than a whole pool either get a dedicated oversized pool
+(``allow_oversize=True``, the default) or come back rejected with a
+clear reason; a rejection never aborts the rest of the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..api.plan import Plan
+from ..model.communication import dace_comm_total_bytes, omen_comm_total_bytes
+from .pool import structural_key
+
+__all__ = [
+    "PackingError",
+    "JobPrice",
+    "price_plan",
+    "PoolAssignment",
+    "PackingResult",
+    "pack_jobs",
+]
+
+
+class PackingError(ValueError):
+    """A job cannot be placed under the current packing policy."""
+
+
+@dataclass(frozen=True)
+class JobPrice:
+    """Modeled cost of one job, from the compile-step cost models."""
+
+    #: Table-3 flops over all sweep points and Born iterations
+    flops: float
+    #: §4.1 inter-rank exchange bytes of the runtime schedule (0 = serial)
+    comm_bytes: float
+    #: modeled SSE data movement (Fig. 8 → 12 final stage) over the run
+    movement_bytes: float
+    points: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "flops": self.flops,
+            "comm_bytes": self.comm_bytes,
+            "movement_bytes": self.movement_bytes,
+            "points": self.points,
+        }
+
+
+def price_plan(plan: Plan) -> JobPrice:
+    """Price a compiled plan with the Table-3 + §4.1 models."""
+    iters = plan.cost.iterations_per_point
+    comm = 0.0
+    if plan.runtime_plan is not None:
+        for group, entry in zip(plan.groups, plan.runtime_plan):
+            n = len(group.points)
+            if entry["schedule"] == "dace":
+                vol = dace_comm_total_bytes(
+                    group.parameters, entry["TE"], entry["TA"]
+                )
+            else:
+                vol = omen_comm_total_bytes(group.parameters, entry["P"])
+            comm += iters * n * vol
+    movement = 0.0
+    if plan.sse_report is not None:
+        movement = (
+            iters * plan.n_points * plan.sse_report.stages[-1].total_bytes
+        )
+    return JobPrice(
+        flops=plan.cost.total_flops,
+        comm_bytes=comm,
+        movement_bytes=movement,
+        points=plan.n_points,
+    )
+
+
+@dataclass
+class PoolAssignment:
+    """One pool's share of a packing: which jobs landed on it and why."""
+
+    pool_id: str
+    #: False for a pool that already existed before this packing
+    new: bool
+    #: True when the pool was opened for a single over-capacity job
+    oversize: bool
+    job_ids: List[str] = field(default_factory=list)
+    #: flops this packing committed to the pool
+    flops: float = 0.0
+    #: structural groups the assigned jobs bring
+    keys: Set[Tuple] = field(default_factory=set)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pool_id": self.pool_id,
+            "new": self.new,
+            "oversize": self.oversize,
+            "job_ids": list(self.job_ids),
+            "flops": self.flops,
+        }
+
+
+@dataclass
+class PackingResult:
+    """The full outcome of one packing pass."""
+
+    assignments: List[PoolAssignment]
+    #: {job_id: reason} for jobs the policy refused to place
+    rejected: Dict[str, str] = field(default_factory=dict)
+
+    def assignment_of(self, job_id: str) -> Optional[PoolAssignment]:
+        for a in self.assignments:
+            if job_id in a.job_ids:
+                return a
+        return None
+
+
+@dataclass
+class _Bin:
+    """Mutable packing state of one (existing or opened) pool."""
+
+    pool_id: str
+    capacity: float
+    committed: float
+    keys: Set[Tuple]
+    assignment: PoolAssignment
+
+    @property
+    def remaining(self) -> float:
+        return self.capacity - self.committed
+
+
+def _job_keys(job) -> Set[Tuple]:
+    device = job.plan.workload.device
+    return {structural_key(device, g) for g in job.plan.groups}
+
+
+def pack_jobs(
+    jobs,
+    capacity_flops: float,
+    pools: Tuple = (),
+    allow_oversize: bool = True,
+    start_index: int = 0,
+) -> PackingResult:
+    """Place priced jobs (``job.plan``/``job.price`` set) onto pools.
+
+    ``pools`` are existing :class:`~repro.service.RankPool` instances
+    whose residual capacity and resident structural groups join the
+    packing — warm pools attract their returning tenants.  New pools are
+    named ``pool-<n>`` starting at ``start_index``.
+    """
+    if capacity_flops <= 0:
+        raise PackingError(f"capacity_flops={capacity_flops} must be positive")
+    bins: List[_Bin] = [
+        _Bin(
+            pool_id=p.pool_id,
+            capacity=p.capacity_flops,
+            committed=p.committed_flops,
+            keys=set(p.keys),
+            assignment=PoolAssignment(p.pool_id, new=False, oversize=False),
+        )
+        for p in pools
+    ]
+    result = PackingResult(assignments=[b.assignment for b in bins])
+    next_index = start_index
+
+    # first-fit-decreasing: biggest jobs choose first (stable on ties)
+    ordered = sorted(jobs, key=lambda j: (-j.price.flops, j.seq))
+    for job in ordered:
+        flops = job.price.flops
+        keys = _job_keys(job)
+        candidates = [b for b in bins if b.remaining >= flops]
+        chosen: Optional[_Bin] = None
+        if candidates:
+            # greedy affinity bonus: most shared structural groups wins,
+            # first fit breaks the tie
+            overlap = [(len(keys & b.keys), b) for b in candidates]
+            best = max(o for o, _ in overlap)
+            if best > 0:
+                chosen = next(b for o, b in overlap if o == best)
+            else:
+                chosen = candidates[0]
+        elif flops > capacity_flops:
+            if not allow_oversize:
+                result.rejected[job.job_id] = (
+                    f"job {job.job_id} needs {flops:.3e} modeled flops, more "
+                    f"than a whole pool's capacity of {capacity_flops:.3e}; "
+                    "resubmit with a larger capacity or allow_oversize=True"
+                )
+                continue
+            chosen = _open_bin(bins, result, f"pool-{next_index}", flops, True)
+            next_index += 1
+        if chosen is None:
+            chosen = _open_bin(
+                bins, result, f"pool-{next_index}", capacity_flops, False
+            )
+            next_index += 1
+        chosen.committed += flops
+        chosen.keys |= keys
+        chosen.assignment.job_ids.append(job.job_id)
+        chosen.assignment.flops += flops
+        chosen.assignment.keys |= keys
+
+    result.assignments = [
+        a for a in result.assignments if a.job_ids or not a.new
+    ]
+    return result
+
+
+def _open_bin(
+    bins: List[_Bin], result: PackingResult, pool_id: str,
+    capacity: float, oversize: bool,
+) -> _Bin:
+    assignment = PoolAssignment(pool_id, new=True, oversize=oversize)
+    b = _Bin(
+        pool_id=pool_id, capacity=capacity, committed=0.0,
+        keys=set(), assignment=assignment,
+    )
+    bins.append(b)
+    result.assignments.append(assignment)
+    return b

@@ -1,0 +1,352 @@
+"""SchedulerService: the multi-tenant front door of the repository.
+
+``submit()`` queues a :class:`~repro.service.Job`; processing a batch
+then walks each job through the lifecycle:
+
+1. **PLANNING** — ``workload.compile()`` validates against Table 1 and
+   prices the job (:func:`~repro.service.packer.price_plan`: Table-3
+   flops + §4.1 volumes).  A content-addressed cache probe happens here:
+   a hit short-circuits straight to **CACHED** without touching a rank.
+2. **ADMITTED** — :func:`~repro.service.packer.pack_jobs` places the
+   batch onto the persistent :class:`~repro.service.RankPool` fleet
+   (first-fit-decreasing, structural-affinity bonus, warm pools
+   included), opening new pools as capacity demands.
+3. **RUNNING → DONE** — admitted jobs execute in strict priority order
+   (priority desc, deadline asc, submit order asc — priority inversion
+   is structurally impossible within a batch) on their pool's shared
+   executors; results enter the cache, and a duplicate admitted in the
+   same batch resolves from the cache at this point with zero additional
+   boundary solves.
+
+Two modes (``REPRO_SERVICE_MODE``): ``sync`` — jobs run inside explicit
+:meth:`drain` calls (or a :meth:`wait` that triggers one); fully
+deterministic, the mode every test uses — and ``thread`` — a background
+worker drains the queue as it fills, with :meth:`wait` blocking on the
+job's terminal state.
+
+Per-job metrics (queue latency, cache hit/miss, flops priced vs
+executed, boundary-solve savings attributable to sharing) live on
+:attr:`Job.metrics`, are attached to each result's
+:attr:`~repro.api.SweepResult.service` block, and aggregate in
+:meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Union
+
+from ..api import PlanError, Workload, WorkloadError
+from ..api.session import SweepResult
+from ..config import (
+    SERVICE_MODES,
+    default_service_capacity,
+    default_service_mode,
+)
+from .cache import ResultCache
+from .jobs import Job
+from .packer import pack_jobs, price_plan
+from .pool import RankPool
+
+__all__ = ["SchedulerError", "SchedulerService"]
+
+
+class SchedulerError(RuntimeError):
+    """The service cannot accept, run, or return a job."""
+
+
+class SchedulerService:
+    """Queue, price, pack, and execute many tenants' workloads."""
+
+    def __init__(
+        self,
+        capacity_flops: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+        mode: Optional[str] = None,
+        allow_oversize: bool = True,
+        keep_arrays: bool = True,
+    ):
+        self.capacity_flops = (
+            default_service_capacity() if capacity_flops is None else capacity_flops
+        )
+        if self.capacity_flops <= 0:
+            raise SchedulerError(
+                f"capacity_flops={self.capacity_flops} must be positive"
+            )
+        self.mode = default_service_mode() if mode is None else mode
+        if self.mode not in SERVICE_MODES:
+            raise SchedulerError(
+                f"unknown scheduler mode {self.mode!r}; "
+                f"expected one of {SERVICE_MODES}"
+            )
+        self.cache = ResultCache() if cache is None else cache
+        self.allow_oversize = allow_oversize
+        self.keep_arrays = keep_arrays
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[Job] = []
+        self._pools: Dict[str, RankPool] = {}
+        self._pool_counter = 0
+        self._exec_counter = 0
+        self._cond = threading.Condition()
+        self._stop = False
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+        if self.mode == "thread":
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-scheduler", daemon=True
+            )
+            self._worker.start()
+
+    # -- submission ---------------------------------------------------------------
+    def submit(
+        self,
+        workload: Workload,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> Job:
+        """Queue one workload; returns its :class:`Job` handle immediately."""
+        if self._closed:
+            raise SchedulerError("scheduler is closed")
+        job = Job(
+            workload=workload, tenant=tenant, priority=priority,
+            deadline_s=deadline_s,
+        )
+        with self._cond:
+            self._jobs[job.job_id] = job
+            self._queue.append(job)
+            self._cond.notify_all()
+        return job
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise SchedulerError(f"unknown job {job_id!r}") from None
+
+    # -- draining -----------------------------------------------------------------
+    def drain(self) -> List[Job]:
+        """Process every queued job now; returns the batch in run order.
+
+        In ``thread`` mode the background worker owns execution — drain
+        just blocks until the current queue has emptied through it.
+        """
+        if self.mode == "thread":
+            with self._cond:
+                while any(not j.terminal for j in self._jobs.values()):
+                    self._cond.wait(0.05)
+            return []
+        with self._cond:
+            batch, self._queue = self._queue, []
+        return self._process(batch)
+
+    def wait(
+        self, job: Union[Job, str], timeout: Optional[float] = None
+    ) -> SweepResult:
+        """Block until a job is terminal; returns its SweepResult.
+
+        ``sync`` mode triggers a :meth:`drain` if the job is still
+        pending; ``thread`` mode waits on the worker.  A FAILED job
+        re-raises its recorded reason as a :class:`SchedulerError`.
+        """
+        if isinstance(job, str):
+            job = self.job(job)
+        if not job.terminal and self.mode == "sync":
+            self.drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not job.terminal:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise SchedulerError(
+                        f"timed out waiting for {job.job_id} "
+                        f"(state {job.state})"
+                    )
+                self._cond.wait(
+                    0.05 if remaining is None else min(remaining, 0.05)
+                )
+        if job.state == "FAILED":
+            raise SchedulerError(f"{job.job_id} failed: {job.error}")
+        return job.result
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait(0.05)
+                if self._stop and not self._queue:
+                    return
+                batch, self._queue = self._queue, []
+            self._process(batch)
+
+    # -- the batch pipeline -------------------------------------------------------
+    def _process(self, batch: List[Job]) -> List[Job]:
+        """Plan, cache-probe, pack, and execute one batch of jobs."""
+        planned: List[Job] = []
+        for job in sorted(batch, key=Job.order_key):
+            job.transition("PLANNING")
+            try:
+                job.plan = job.workload.compile()
+                job.price = price_plan(job.plan)
+            except (PlanError, WorkloadError) as exc:
+                job.fail(f"planning failed: {exc}")
+                continue
+            job.metrics["flops_priced"] = job.price.flops
+            cached = self.cache.get(job.cache_key)
+            if cached is not None:
+                self._finish_cached(job, cached, "hit at planning")
+                continue
+            job.metrics["cache"] = "miss"
+            planned.append(job)
+
+        packing = pack_jobs(
+            planned,
+            self.capacity_flops,
+            pools=tuple(self._pools.values()),
+            allow_oversize=self.allow_oversize,
+            start_index=self._pool_counter,
+        )
+        for job in planned:
+            if job.job_id in packing.rejected:
+                job.fail(packing.rejected[job.job_id])
+        admitted: List[Job] = []
+        for assignment in packing.assignments:
+            if assignment.new and assignment.job_ids:
+                capacity = (
+                    max(self.capacity_flops, assignment.flops)
+                    if assignment.oversize
+                    else self.capacity_flops
+                )
+                self._pools[assignment.pool_id] = RankPool(
+                    assignment.pool_id, capacity
+                )
+                self._pool_counter += 1
+            pool = self._pools.get(assignment.pool_id)
+            for job_id in assignment.job_ids:
+                job = self._jobs[job_id]
+                pool.admit(job)
+                job.transition("ADMITTED", f"packed onto {pool.pool_id}")
+                admitted.append(job)
+
+        # strict priority order across all pools: no priority inversion
+        for job in sorted(admitted, key=Job.order_key):
+            self._execute(job)
+        with self._cond:
+            self._cond.notify_all()
+        return sorted(batch, key=Job.order_key)
+
+    def _execute(self, job: Job) -> None:
+        """Run one admitted job (or resolve a same-batch duplicate)."""
+        cached = self.cache.get(job.cache_key)
+        if cached is not None:
+            self._finish_cached(job, cached, "hit at execution")
+            return
+        job.transition("RUNNING")
+        self._exec_counter += 1
+        job.metrics["exec_order"] = self._exec_counter
+        pool = self._pools[job.pool_id]
+        try:
+            result = pool.execute(job, keep_arrays=self.keep_arrays)
+        except Exception as exc:  # surface, don't kill the batch
+            job.fail(f"execution failed: {exc}")
+            return
+        job.metrics["flops_executed"] = job.price.flops
+        job.metrics["queue_latency_s"] = job.queue_latency_s
+        result.service = self._service_block(job)
+        job.result = result
+        self.cache.put(job.cache_key, result)
+        job.transition("DONE")
+
+    def _finish_cached(self, job: Job, cached: SweepResult, note: str) -> None:
+        """Terminal CACHED: attach the hit's own metadata, zero execution."""
+        job.metrics.update(
+            cache="hit",
+            flops_executed=0.0,
+            boundary_solves=0,
+            boundary_hits=0,
+            boundary_solves_saved=0,
+            queue_latency_s=job.queue_latency_s,
+        )
+        job.result = replace(cached, service=self._service_block(job))
+        job.transition("CACHED", note)
+
+    def _service_block(self, job: Job) -> Dict[str, Any]:
+        """The metrics block serialized with the result (satellite 2)."""
+        return {
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "priority": job.priority,
+            "pool_id": job.pool_id,
+            "cache": job.metrics.get("cache", "miss"),
+            "flops_priced": job.metrics.get("flops_priced", 0.0),
+            "flops_executed": job.metrics.get("flops_executed", 0.0),
+            "boundary_solves": job.metrics.get("boundary_solves", 0),
+            "boundary_hits": job.metrics.get("boundary_hits", 0),
+            "boundary_solves_saved": job.metrics.get(
+                "boundary_solves_saved", 0
+            ),
+            "queue_latency_s": job.metrics.get("queue_latency_s"),
+        }
+
+    # -- accounting ---------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated service metrics across all jobs, pools, and tiers."""
+        states: Dict[str, int] = {}
+        priced = executed = 0.0
+        solves = hits = saved = 0
+        latencies: List[float] = []
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+            priced += job.metrics.get("flops_priced", 0.0)
+            executed += job.metrics.get("flops_executed", 0.0)
+            solves += job.metrics.get("boundary_solves", 0)
+            hits += job.metrics.get("boundary_hits", 0)
+            saved += job.metrics.get("boundary_solves_saved", 0)
+            if job.queue_latency_s is not None:
+                latencies.append(job.queue_latency_s)
+        return {
+            "mode": self.mode,
+            "capacity_flops": self.capacity_flops,
+            "jobs": states,
+            "queued": len(self._queue),
+            "flops_priced": priced,
+            "flops_executed": executed,
+            "boundary_solves": solves,
+            "boundary_hits": hits,
+            "boundary_solves_saved": saved,
+            "mean_queue_latency_s": (
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            "cache": self.cache.stats(),
+            "pools": [p.stats() for p in self._pools.values()],
+        }
+
+    def jobs(self) -> List[Job]:
+        """Every job the service has seen, in submit order."""
+        return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    # -- lifetime -----------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker (thread mode) and shut every pool down."""
+        if self._closed:
+            return
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=30)
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+        self._closed = True
+
+    def __enter__(self) -> "SchedulerService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -124,6 +124,30 @@ class TestWorkload:
         assert w.n_points == 3
         assert w.sweeps[0].name == "bias"
 
+    def test_canonical_json_is_stable(self):
+        w = small_workload(sweeps=(SweepAxis("bias", (0.0, 0.3)),))
+        canonical = w.to_json(canonical=True)
+        # canonical form survives serialization round trips unchanged
+        roundtrip = Workload.from_json(w.to_json(indent=2))
+        assert roundtrip.to_json(canonical=True) == canonical
+        # and is insensitive to dict key ordering on the wire
+        shuffled = json.loads(canonical)
+        shuffled = dict(reversed(list(shuffled.items())))
+        assert Workload.from_dict(shuffled).to_json(canonical=True) == canonical
+
+    def test_cache_key_ignores_name_tracks_physics(self):
+        w = small_workload(name="a")
+        assert w.cache_key() == small_workload(name="b").cache_key()
+        assert len(w.cache_key()) == 64
+        changed = small_workload(
+            physics=PhysicsSpec(transport="ballistic", mu_left=0.11)
+        )
+        assert changed.cache_key() != w.cache_key()
+
+    def test_cache_key_stable_across_round_trip(self):
+        w = small_workload(sweeps=(SweepAxis("bias", (0.0, 0.15, 0.3)),))
+        assert Workload.from_json(w.to_json()).cache_key() == w.cache_key()
+
 
 class TestScenarios:
     def test_registry_contains_presets(self):

@@ -38,6 +38,7 @@ def test_examples_present():
         "communication_planning.py",
         "sdfg_transformations.py",
         "distributed_runtime.py",
+        "scheduler_service.py",
     } <= names
 
 
@@ -70,6 +71,13 @@ def test_distributed_runtime_example():
     assert "runtime: P=4 ranks" in out
     assert "bytes==model" in out
     assert "distributed runtime sane" in out
+
+
+def test_scheduler_service_example():
+    out = _run("scheduler_service.py")
+    assert "CACHED" in out
+    assert "boundary solves saved: 40" in out
+    assert "scheduler service sane" in out
 
 
 @pytest.mark.slow

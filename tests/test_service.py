@@ -1,0 +1,509 @@
+"""Multi-tenant scheduler service: jobs, cache, pools, packing, metrics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DeviceSpec,
+    GridSpec,
+    PhysicsSpec,
+    Session,
+    SweepAxis,
+    SweepResult,
+    Workload,
+)
+from repro.config import (
+    SERVICE_MODES,
+    default_service_cache_entries,
+    default_service_capacity,
+    default_service_mode,
+)
+from repro.service import (
+    Job,
+    JobError,
+    PackingError,
+    RankPool,
+    ResultCache,
+    SchedulerError,
+    SchedulerService,
+    pack_jobs,
+    price_plan,
+    structural_key,
+)
+
+
+def small_workload(name="svc", bias=0.2, NE=8, transport="ballistic", **kwargs):
+    defaults = dict(
+        name=name,
+        device=DeviceSpec(nx_cols=6, ny_rows=3, NB=4, slab_width=2, Norb=2),
+        grid=GridSpec(e_min=-1.2, e_max=1.2, NE=NE, Nkz=2, Nqz=2, Nw=2, eta=1e-4),
+        physics=PhysicsSpec(
+            transport=transport, mu_left=bias / 2, mu_right=-bias / 2,
+            coupling=0.25, mixing=0.6, max_iterations=3, tolerance=1e-12,
+        ),
+    )
+    defaults.update(kwargs)
+    return Workload(**defaults)
+
+
+def sync_service(**kwargs):
+    defaults = dict(mode="sync", cache=ResultCache(max_entries=32))
+    defaults.update(kwargs)
+    return SchedulerService(**defaults)
+
+
+# -- job state machine ---------------------------------------------------------
+
+
+class TestJobStateMachine:
+    def test_nominal_lifecycle(self):
+        job = Job(workload=small_workload())
+        assert job.state == "QUEUED" and not job.terminal
+        for state in ("PLANNING", "ADMITTED", "RUNNING", "DONE"):
+            job.transition(state)
+        assert job.terminal
+        assert [r.state for r in job.history] == [
+            "QUEUED", "PLANNING", "ADMITTED", "RUNNING", "DONE",
+        ]
+
+    def test_illegal_transition_raises(self):
+        job = Job(workload=small_workload())
+        with pytest.raises(JobError, match="illegal transition"):
+            job.transition("RUNNING")  # must pass through PLANNING/ADMITTED
+
+    def test_terminal_states_are_final(self):
+        job = Job(workload=small_workload())
+        job.transition("PLANNING")
+        job.transition("CACHED")
+        with pytest.raises(JobError, match="illegal transition"):
+            job.transition("PLANNING")
+
+    def test_unknown_state_raises(self):
+        job = Job(workload=small_workload())
+        with pytest.raises(JobError, match="unknown job state"):
+            job.transition("PAUSED")
+
+    def test_non_workload_raises(self):
+        with pytest.raises(JobError, match="Workload"):
+            Job(workload={"not": "a workload"})
+
+    def test_record_is_json_serializable(self):
+        job = Job(workload=small_workload(), tenant="alice", priority=3)
+        job.transition("PLANNING")
+        job.fail("synthetic")
+        d = json.loads(json.dumps(job.to_dict()))
+        assert d["tenant"] == "alice" and d["state"] == "FAILED"
+        assert d["error"] == "synthetic"
+        assert [r["state"] for r in d["history"]][-1] == "FAILED"
+        assert d["cache_key"] == job.workload.cache_key()
+
+    def test_order_key_priority_then_deadline_then_seq(self):
+        lo = Job(workload=small_workload(), priority=0)
+        hi = Job(workload=small_workload(), priority=5)
+        soon = Job(workload=small_workload(), priority=5, deadline_s=1.0)
+        assert sorted([lo, hi, soon], key=Job.order_key) == [soon, hi, lo]
+
+
+# -- result cache --------------------------------------------------------------
+
+
+def _dummy_sweep(tag: str) -> SweepResult:
+    return SweepResult(workload={"name": tag}, runs=[], reuse={}, engine="batched")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", _dummy_sweep("a"))
+        assert cache.get("k").workload["name"] == "a"
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", _dummy_sweep("a"))
+        cache.put("b", _dummy_sweep("b"))
+        cache.get("a")  # a is now most recently used
+        cache.put("c", _dummy_sweep("c"))  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_entries_disables(self):
+        cache = ResultCache(max_entries=0)
+        cache.put("k", _dummy_sweep("a"))
+        assert cache.get("k") is None and not cache.enabled
+
+    def test_disk_tier_survives_new_instance(self, tmp_path):
+        first = ResultCache(max_entries=4, directory=tmp_path)
+        first.put("k", _dummy_sweep("persisted"))
+        second = ResultCache(max_entries=4, directory=tmp_path)
+        hit = second.get("k")
+        assert hit is not None and hit.workload["name"] == "persisted"
+        assert second.stats()["hits"] == 1
+
+    def test_negative_entries_raise(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=-1)
+
+
+# -- pricing and packing --------------------------------------------------------
+
+
+class TestPacker:
+    def _priced_job(self, workload, **job_kwargs):
+        job = Job(workload=workload, **job_kwargs)
+        job.plan = workload.compile(engine="batched")
+        job.price = price_plan(job.plan)
+        return job
+
+    def test_price_positive_and_serializable(self):
+        job = self._priced_job(small_workload(transport="scba"))
+        assert job.price.flops > 0 and job.price.points == 1
+        assert job.price.movement_bytes > 0  # dace SSE movement model
+        assert json.loads(json.dumps(job.price.to_dict()))["flops"] > 0
+
+    def test_distributed_plan_prices_comm_volume(self):
+        w = small_workload(transport="scba")
+        job = Job(workload=w)
+        job.plan = w.compile(engine="batched", runtime="sim", ranks=2)
+        job.price = price_plan(job.plan)
+        assert job.price.comm_bytes > 0
+
+    def test_shared_group_packs_onto_one_pool(self):
+        a = self._priced_job(small_workload("a", bias=0.1))
+        b = self._priced_job(small_workload("b", bias=0.3))
+        packing = pack_jobs([a, b], capacity_flops=1e12)
+        assert len(packing.assignments) == 1
+        assert packing.assignments[0].job_ids == [a.job_id, b.job_id]
+
+    def test_affinity_beats_first_fit(self):
+        # FFD order: alien (largest, own structural group) claims pool-0,
+        # big overflows into pool-1, and the small twin then fits BOTH
+        # pools — plain first-fit would take pool-0, affinity must send
+        # it to big's pool-1.
+        sweep = (SweepAxis("bias", (0.1, 0.3)),)
+        alien = self._priced_job(small_workload("alien", NE=16, sweeps=sweep))
+        big = self._priced_job(small_workload("big", NE=12, sweeps=sweep))
+        twin = self._priced_job(small_workload("twin", NE=12, bias=0.5))
+        capacity = alien.price.flops + 1.5 * twin.price.flops
+        assert capacity - alien.price.flops < big.price.flops  # big overflows
+        assert capacity - big.price.flops >= twin.price.flops  # twin fits both
+        packing = pack_jobs([alien, big, twin], capacity_flops=capacity)
+        a_alien = packing.assignment_of(alien.job_id)
+        a_big = packing.assignment_of(big.job_id)
+        a_twin = packing.assignment_of(twin.job_id)
+        assert a_big.pool_id == a_twin.pool_id != a_alien.pool_id
+
+    def test_over_capacity_rejected_with_clear_error(self):
+        job = self._priced_job(small_workload())
+        packing = pack_jobs(
+            [job], capacity_flops=job.price.flops / 2, allow_oversize=False
+        )
+        assert not packing.assignments
+        assert "larger capacity" in packing.rejected[job.job_id]
+
+    def test_over_capacity_gets_own_pool_when_allowed(self):
+        small = self._priced_job(small_workload("s", NE=6))
+        huge = self._priced_job(small_workload("h", NE=12))
+        packing = pack_jobs(
+            [small, huge], capacity_flops=huge.price.flops * 0.9
+        )
+        a_huge = packing.assignment_of(huge.job_id)
+        assert a_huge.oversize and a_huge.job_ids == [huge.job_id]
+        assert packing.assignment_of(small.job_id).pool_id != a_huge.pool_id
+
+    def test_warm_existing_pool_attracts_returning_tenant(self):
+        first = self._priced_job(small_workload("warm"))
+        with RankPool("pool-7", capacity_flops=1e12) as pool:
+            pool.admit(first)
+            pool.execute(first)
+            returning = self._priced_job(small_workload("warm", bias=0.6))
+            packing = pack_jobs(
+                [returning], capacity_flops=1e12, pools=(pool,), start_index=8
+            )
+            assert packing.assignment_of(returning.job_id).pool_id == "pool-7"
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(PackingError, match="positive"):
+            pack_jobs([], capacity_flops=0.0)
+
+
+# -- rank pools -----------------------------------------------------------------
+
+
+class TestRankPool:
+    def test_structural_key_separates_grids_not_bias(self):
+        w1 = small_workload(bias=0.1)
+        w2 = small_workload(bias=0.5)
+        w3 = small_workload(NE=12)
+        keys = []
+        for w in (w1, w2, w3):
+            plan = w.compile(engine="batched")
+            keys.append(structural_key(w.device, plan.groups[0]))
+        assert keys[0] == keys[1] and keys[0] != keys[2]
+
+    def test_shared_group_reuses_boundary_cache(self):
+        a, b = small_workload("a", bias=0.1), small_workload("b", bias=0.5)
+        with RankPool("p", capacity_flops=1e12) as pool:
+            jobs = []
+            for w in (a, b):
+                job = Job(workload=w)
+                job.plan = w.compile(engine="batched")
+                job.price = price_plan(job.plan)
+                pool.admit(job)
+                jobs.append(job)
+            pool.execute(jobs[0])
+            pool.execute(jobs[1])
+        assert jobs[0].metrics["boundary_solves"] > 0
+        assert jobs[1].metrics["boundary_solves"] == 0
+        assert jobs[1].metrics["boundary_hits"] > 0
+        assert (
+            jobs[1].metrics["boundary_solves_saved"]
+            == jobs[0].metrics["boundary_solves"]
+        )
+
+    def test_admit_beyond_capacity_raises(self):
+        w = small_workload()
+        job1, job2 = Job(workload=w), Job(workload=w)
+        for job in (job1, job2):
+            job.plan = w.compile(engine="batched")
+            job.price = price_plan(job.plan)
+        pool = RankPool("p", capacity_flops=job1.price.flops * 1.5)
+        pool.admit(job1)  # fits
+        with pytest.raises(Exception, match="remain"):
+            pool.admit(job2)
+        pool.close()
+
+
+# -- scheduler service ----------------------------------------------------------
+
+
+class TestSchedulerService:
+    def test_empty_queue_drain(self):
+        with sync_service() as svc:
+            assert svc.drain() == []
+            assert svc.stats()["jobs"] == {}
+
+    def test_results_match_session_ballistic(self):
+        w = small_workload(sweeps=(SweepAxis("bias", (0.0, 0.2, 0.4)),))
+        with Session(w.compile()) as session:
+            reference = session.run()
+        with sync_service() as svc:
+            sweep = svc.wait(svc.submit(w))
+        assert np.abs(
+            reference.currents_left - sweep.currents_left
+        ).max() <= 1e-10
+        assert [r.index for r in sweep.runs] == [0, 1, 2]
+
+    def test_results_match_session_scba(self):
+        w = small_workload(transport="scba")
+        with Session(w.compile()) as session:
+            reference = session.run()
+        with sync_service() as svc:
+            sweep = svc.wait(svc.submit(w))
+        ref, got = reference.runs[0], sweep.runs[0]
+        assert np.abs(
+            np.asarray(ref.result.Gl) - np.asarray(got.result.Gl)
+        ).max() <= 1e-10
+        assert got.current_left == pytest.approx(ref.current_left, abs=1e-10)
+        assert got.total_dissipation == pytest.approx(
+            ref.total_dissipation, abs=1e-10
+        )
+
+    def test_duplicate_submission_served_from_cache(self):
+        w = small_workload()
+        twin = small_workload(name="other-label")  # same physics, new name
+        with sync_service() as svc:
+            first = svc.submit(w, tenant="alice")
+            dup = svc.submit(twin, tenant="bob")
+            svc.drain()
+            assert first.state == "DONE" and dup.state == "CACHED"
+            assert dup.metrics["boundary_solves"] == 0
+            assert dup.metrics["flops_executed"] == 0.0
+            # the pool never saw additional solves for the duplicate
+            assert (
+                svc.stats()["boundary_solves"]
+                == first.metrics["boundary_solves"]
+            )
+            assert dup.result.service["cache"] == "hit"
+            assert np.abs(
+                dup.result.currents_left - first.result.currents_left
+            ).max() == 0.0
+
+    def test_repeat_traffic_across_drains_hits_cache(self):
+        w = small_workload()
+        with sync_service() as svc:
+            svc.wait(svc.submit(w))
+            job = svc.submit(w)
+            svc.drain()
+            assert job.state == "CACHED"
+            assert svc.cache.stats()["hits"] >= 1
+
+    def test_sharing_tenants_vs_disjoint_tenants(self):
+        shared_a = small_workload("a", bias=0.1)
+        shared_b = small_workload("b", bias=0.5)      # same structural group
+        disjoint = small_workload("c", NE=12)         # its own group
+        with sync_service() as svc:
+            ja = svc.submit(shared_a, tenant="alice")
+            jb = svc.submit(shared_b, tenant="bob")
+            jc = svc.submit(disjoint, tenant="carol")
+            svc.drain()
+            # the sharing pair: second tenant solves nothing, only hits
+            first, second = sorted(
+                (ja, jb), key=lambda j: j.metrics["exec_order"]
+            )
+            assert first.metrics["boundary_solves"] > 0
+            assert second.metrics["boundary_solves"] == 0
+            assert second.metrics["boundary_solves_saved"] > 0
+            # the disjoint tenant pays its own boundary bill in full
+            assert jc.metrics["boundary_solves"] > 0
+            assert jc.metrics["boundary_solves_saved"] == 0
+
+    def test_priority_inversion_avoided(self):
+        with sync_service() as svc:
+            low = svc.submit(small_workload(bias=0.1), priority=0)
+            high = svc.submit(small_workload(bias=0.3), priority=10)
+            svc.drain()
+            assert high.metrics["exec_order"] < low.metrics["exec_order"]
+
+    def test_deadline_breaks_priority_ties(self):
+        with sync_service() as svc:
+            late = svc.submit(small_workload(bias=0.1), priority=1)
+            soon = svc.submit(
+                small_workload(bias=0.3), priority=1, deadline_s=0.5
+            )
+            svc.drain()
+            assert soon.metrics["exec_order"] < late.metrics["exec_order"]
+
+    def test_over_capacity_job_rejected_with_clear_error(self):
+        w = small_workload()
+        flops = price_plan(w.compile(engine="batched")).flops
+        with sync_service(
+            capacity_flops=flops / 2, allow_oversize=False
+        ) as svc:
+            job = svc.submit(w)
+            svc.drain()
+            assert job.state == "FAILED"
+            assert "larger capacity" in job.error
+            with pytest.raises(SchedulerError, match="failed"):
+                svc.wait(job)
+
+    def test_over_capacity_job_gets_own_pool(self):
+        w = small_workload()
+        flops = price_plan(w.compile(engine="batched")).flops
+        with sync_service(capacity_flops=flops / 2) as svc:
+            job = svc.submit(w)
+            sweep = svc.wait(job)
+            assert job.state == "DONE" and len(sweep.runs) == 1
+            (pool,) = svc.stats()["pools"]
+            assert pool["capacity_flops"] >= flops
+
+    def test_invalid_workload_fails_job_not_batch(self):
+        bad = small_workload(grid=GridSpec(NE=8, Nkz=2, Nqz=3, Nw=2))
+        good = small_workload()
+        with sync_service() as svc:
+            jbad, jgood = svc.submit(bad), svc.submit(good)
+            svc.drain()
+            assert jbad.state == "FAILED" and "planning failed" in jbad.error
+            assert jgood.state == "DONE"
+
+    def test_service_metadata_serializes_with_result(self):
+        w = small_workload()
+        with sync_service() as svc:
+            sweep = svc.wait(svc.submit(w, tenant="alice", priority=2))
+        restored = SweepResult.from_dict(json.loads(sweep.to_json()))
+        assert restored.service["tenant"] == "alice"
+        assert restored.service["priority"] == 2
+        assert restored.service["flops_priced"] > 0
+        assert restored.reuse == sweep.reuse
+        assert restored.boundary_solves == sweep.boundary_solves
+
+    def test_stats_aggregate(self):
+        with sync_service() as svc:
+            svc.submit(small_workload(bias=0.1))
+            svc.submit(small_workload(bias=0.1))  # duplicate
+            svc.drain()
+            s = svc.stats()
+            assert s["jobs"] == {"DONE": 1, "CACHED": 1}
+            assert s["flops_executed"] < s["flops_priced"]
+            assert s["cache"]["hits"] == 1
+            assert len(s["pools"]) == 1
+            assert s["mean_queue_latency_s"] is not None
+
+    def test_submit_convenience_on_workload(self):
+        with sync_service() as svc:
+            job = small_workload().submit(svc, tenant="alice", priority=1)
+            assert job.tenant == "alice" and job.priority == 1
+            assert svc.wait(job) is job.result
+
+    def test_closed_service_rejects_submission(self):
+        svc = sync_service()
+        svc.close()
+        with pytest.raises(SchedulerError, match="closed"):
+            svc.submit(small_workload())
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(SchedulerError, match="unknown scheduler mode"):
+            SchedulerService(mode="fiber")
+
+    def test_threaded_mode_matches_sync(self):
+        w = small_workload(sweeps=(SweepAxis("bias", (0.0, 0.2)),))
+        with sync_service() as svc:
+            reference = svc.wait(svc.submit(w))
+        with SchedulerService(
+            mode="thread", cache=ResultCache(max_entries=8)
+        ) as svc:
+            job = svc.submit(w, tenant="threaded")
+            sweep = svc.wait(job, timeout=240)
+            assert job.state == "DONE"
+        assert np.abs(
+            reference.currents_left - sweep.currents_left
+        ).max() <= 1e-10
+
+
+# -- REPRO_SERVICE_* knobs ------------------------------------------------------
+
+
+class TestServiceConfig:
+    def test_defaults(self, monkeypatch):
+        for var in (
+            "REPRO_SERVICE_MODE", "REPRO_SERVICE_CAPACITY",
+            "REPRO_SERVICE_CACHE",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        assert default_service_mode() == "sync"
+        assert default_service_capacity() == pytest.approx(1e13)
+        assert default_service_cache_entries() == 128
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_MODE", "thread")
+        monkeypatch.setenv("REPRO_SERVICE_CAPACITY", "2.5e9")
+        monkeypatch.setenv("REPRO_SERVICE_CACHE", "7")
+        assert default_service_mode() == "thread"
+        assert default_service_capacity() == pytest.approx(2.5e9)
+        assert default_service_cache_entries() == 7
+
+    @pytest.mark.parametrize(
+        "var, value",
+        [
+            ("REPRO_SERVICE_MODE", "fiber"),
+            ("REPRO_SERVICE_CAPACITY", "lots"),
+            ("REPRO_SERVICE_CAPACITY", "-1"),
+            ("REPRO_SERVICE_CACHE", "many"),
+            ("REPRO_SERVICE_CACHE", "-2"),
+        ],
+    )
+    def test_invalid_env_raises(self, monkeypatch, var, value):
+        monkeypatch.setenv(var, value)
+        with pytest.raises(ValueError, match=var):
+            {
+                "REPRO_SERVICE_MODE": default_service_mode,
+                "REPRO_SERVICE_CAPACITY": default_service_capacity,
+                "REPRO_SERVICE_CACHE": default_service_cache_entries,
+            }[var]()
+
+    def test_modes_registry(self):
+        assert SERVICE_MODES == ("sync", "thread")
