@@ -19,7 +19,12 @@ lives, apart from the physics: compiling a :class:`~repro.api.Workload`
   Fig. 8 → 12 transformation pipeline at the *planned* dimensions
   (:func:`repro.core.recipe.sse_movement_report`, the paper's §4.1
   metric) — the recipe enters the plan as a measured
-  :class:`~repro.sdfg.PipelineReport`, not as a static table.
+  :class:`~repro.sdfg.PipelineReport`, not as a static table,
+* optionally *autotunes* the SSE pipeline (``autotune="greedy"`` /
+  ``"beam"``): :func:`repro.core.recipe.tuned_sse_search` searches the
+  transformation move space at the planned dimensions and the plan
+  carries the searched pipeline's movement report beside the hand
+  recipe's for comparison.
 
 A plan is inspectable (:meth:`Plan.describe`) and serializable
 (:meth:`Plan.to_json`), so execution choices can be reviewed, diffed, and
@@ -34,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import (
+    AUTOTUNE_STRATEGIES,
     EXECUTION_BACKENDS,
     RUNTIMES,
     SSE_SCHEDULES,
@@ -232,6 +238,12 @@ class Plan:
     #: (``"numpy"`` generated code / ``"interpreter"``; None follows
     #: ``REPRO_SDFG_BACKEND``)
     sse_backend: Optional[str] = None
+    #: autotune strategy the SSE pipeline was searched with (None: the
+    #: hand recipe only)
+    autotune: Optional[str] = None
+    #: movement report of the autotuned SSE pipeline, at the same
+    #: (peak-group) dimensions as ``sse_report``
+    tuned_sse_report: Optional[PipelineReport] = None
 
     @property
     def sse_recipe(self) -> Tuple[Tuple[str, str], ...]:
@@ -333,6 +345,19 @@ class Plan:
                 f"    net    : {r.total_reduction:.1f}x less data movement "
                 f"({r.stages[0].name} -> {r.stages[-1].name})"
             )
+        if self.tuned_sse_report is not None:
+            t = self.tuned_sse_report
+            hand = (
+                self.sse_report.total_reduction
+                if self.sse_report is not None
+                else None
+            )
+            vs = f" (hand recipe: {hand:.1f}x)" if hand is not None else ""
+            lines.append(
+                f"  tuned  : autotune[{self.autotune}] found "
+                f"{len(t.stages) - 1} moves, "
+                f"{t.total_reduction:.1f}x less movement{vs}"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -363,6 +388,12 @@ class Plan:
             "sse_movement": (
                 self.sse_report.to_dict()
                 if self.sse_report is not None
+                else None
+            ),
+            "autotune": self.autotune,
+            "tuned_sse_movement": (
+                self.tuned_sse_report.to_dict()
+                if self.tuned_sse_report is not None
                 else None
             ),
         }
@@ -430,6 +461,7 @@ def compile_workload(
     runtime: Optional[str] = None,
     ranks: Optional[int] = None,
     schedule: Optional[str] = None,
+    autotune: Optional[str] = None,
 ) -> Plan:
     """Compile a workload: validate, select execution, group for reuse.
 
@@ -452,6 +484,15 @@ def compile_workload(
     forces the SSE communication schedule; ``schedule=None`` picks the
     volume-minimizing one per group via the §4.1 models and the
     exhaustive tile search.
+
+    ``autotune`` runs the movement-model-guided search
+    (:func:`repro.core.recipe.tuned_sse_search`) with the named strategy
+    (``"greedy"`` / ``"beam"``) at the planned peak-group dimensions;
+    the plan then carries the searched pipeline's movement report in
+    ``tuned_sse_report`` beside the hand recipe's ``sse_report``.  It
+    requires an SSE workload — requesting it for a ballistic run or a
+    non-dace/sdfg ``sse_variant`` raises a :class:`PlanError`, as does
+    an unknown strategy name.
     """
     points = workload.sweep_points()
 
@@ -503,6 +544,22 @@ def compile_workload(
         )
     if ranks is not None and ranks < 1:
         raise PlanError(f"ranks={ranks} must be positive")
+    sse_modeled = not workload.ballistic and workload.physics.sse_variant in (
+        "dace", "sdfg",
+    )
+    if autotune is not None:
+        if autotune not in AUTOTUNE_STRATEGIES:
+            raise PlanError(
+                f"unknown autotune strategy {autotune!r}; "
+                f"expected one of {AUTOTUNE_STRATEGIES}"
+            )
+        if not sse_modeled:
+            raise PlanError(
+                "autotune requires an SSE workload "
+                "(non-ballistic, sse_variant 'dace' or 'sdfg'); "
+                f"got ballistic={workload.ballistic}, "
+                f"sse_variant={workload.physics.sse_variant!r}"
+            )
 
     # -- group sweep points by structural settings ------------------------------
     dev = workload.device
@@ -612,21 +669,28 @@ def compile_workload(
 
     # -- SSE transformation pipeline, movement modeled at planned dims ----------
     sse_report: Optional[PipelineReport] = None
-    if not workload.ballistic and workload.physics.sse_variant in (
-        "dace", "sdfg",
-    ):
+    tuned_sse_report: Optional[PipelineReport] = None
+    if sse_modeled:
         from ..core.recipe import sse_movement_report
 
         peak = max(
             (g.parameters for g in groups),
             key=lambda p: p.Nkz * p.NE * p.Nqz * p.Nw,
         )
-        sse_report = sse_movement_report(
-            dict(
-                Nkz=peak.Nkz, NE=peak.NE, Nqz=peak.Nqz, Nw=peak.Nw,
-                NA=peak.NA, NB=peak.NB, Norb=peak.Norb, N3D=peak.N3D,
-            )
+        peak_dims = dict(
+            Nkz=peak.Nkz, NE=peak.NE, Nqz=peak.Nqz, Nw=peak.Nw,
+            NA=peak.NA, NB=peak.NB, Norb=peak.Norb, N3D=peak.N3D,
         )
+        sse_report = sse_movement_report(peak_dims)
+        if autotune is not None:
+            from ..autotune import AutotuneError
+            from ..core.recipe import tuned_sse_search
+
+            try:
+                tuned = tuned_sse_search(peak_dims, strategy=autotune)
+            except AutotuneError as exc:
+                raise PlanError(f"autotune failed: {exc}") from exc
+            tuned_sse_report = tuned.report
 
     return Plan(
         workload=workload,
@@ -641,6 +705,8 @@ def compile_workload(
         decomposition=decomposition,
         sse_report=sse_report,
         sse_backend=sse_backend,
+        autotune=autotune,
+        tuned_sse_report=tuned_sse_report,
         runtime=runtime,
         ranks=ranks,
         runtime_plan=tuple(runtime_plan) if runtime_plan else None,

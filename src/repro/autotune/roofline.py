@@ -1,0 +1,210 @@
+"""Roofline validation of searched (or hand-written) pipelines.
+
+Every autotuner candidate is judged by the §4.1 byte model; this module
+closes the loop by checking the model against reality, per stage:
+
+* **modeled bytes** — :meth:`Pipeline.report` at the *model* dims (the
+  bindings the search optimized for, e.g. the paper's 4864-atom
+  structure);
+* **modeled flops** — the analytic per-stage count
+  (:func:`repro.model.performance.stage_flops`), from each tasklet's
+  declarative ``op`` einsum or its ``flops`` callable;
+* **measured** — the stage executed through a real backend
+  (``numpy`` codegen by default) at small *measure* dims: wall-clock
+  seconds (best of ``repeats``), the backend's own flop count, and the
+  max error against the pipeline's reference kernel.
+
+The analytic and executed flop counts must agree exactly (both charge 8
+real flops per contraction point, 6 per complex multiply), so
+``flops_agreement == 1.0`` is the expected value and any drift flags a
+stage whose movement model no longer describes what actually runs.
+With ``peak_flops``/``mem_bandwidth`` a classical roofline bound
+``max(flops/peak, bytes/bandwidth)`` is attached at the model dims.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..model.performance import stage_flops
+from ..sdfg import Pipeline
+from ..sdfg.pipeline import format_bytes
+
+__all__ = ["RooflineStage", "RooflineReport", "roofline_report"]
+
+
+@dataclass(frozen=True)
+class RooflineStage:
+    """One pipeline stage's modeled-vs-measured record."""
+
+    name: str
+    description: str
+    #: §4.1 modeled bytes moved at the model dims
+    modeled_bytes: int
+    #: analytic flops at the model dims
+    modeled_flops: int
+    #: wall-clock seconds at the measure dims (best of ``repeats``)
+    measured_seconds: float
+    #: flops the execution backend itself counted at the measure dims
+    measured_flops: int
+    #: analytic flops at the measure dims (should equal measured_flops)
+    modeled_measure_flops: int
+    #: max |error| vs the reference kernel at the measure dims
+    verify_error: float
+    #: roofline-bound seconds at the model dims (machine model supplied)
+    roofline_seconds: Optional[float] = None
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity (flop/byte) at the model dims."""
+        return self.modeled_flops / max(self.modeled_bytes, 1)
+
+    @property
+    def flops_agreement(self) -> float:
+        """measured/modeled flop ratio at the measure dims (expect 1.0)."""
+        return self.measured_flops / max(self.modeled_measure_flops, 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "modeled_bytes": self.modeled_bytes,
+            "modeled_flops": self.modeled_flops,
+            "intensity": self.intensity,
+            "measured_seconds": self.measured_seconds,
+            "measured_flops": self.measured_flops,
+            "modeled_measure_flops": self.modeled_measure_flops,
+            "flops_agreement": self.flops_agreement,
+            "verify_error": self.verify_error,
+            "roofline_seconds": self.roofline_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    """Per-stage roofline validation of one pipeline."""
+
+    pipeline: str
+    backend: str
+    model_dims: Dict[str, int]
+    measure_dims: Dict[str, int]
+    stages: Tuple[RooflineStage, ...]
+
+    def stage(self, name: str) -> RooflineStage:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage {name!r} in roofline report")
+
+    @property
+    def agreement(self) -> float:
+        """Worst-stage |flops_agreement - 1| (0.0 = perfect model)."""
+        return max(abs(s.flops_agreement - 1.0) for s in self.stages)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pipeline": self.pipeline,
+            "backend": self.backend,
+            "model_dims": dict(self.model_dims),
+            "measure_dims": dict(self.measure_dims),
+            "agreement": self.agreement,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def describe(self) -> str:
+        lines = [
+            f"roofline[{self.pipeline}] backend={self.backend} "
+            f"(bytes/flops modeled at {self.model_dims}, "
+            f"measured at {self.measure_dims}):"
+        ]
+        for i, s in enumerate(self.stages):
+            lines.append(
+                f"  {i:2d} {s.name:10s} "
+                f"{format_bytes(s.modeled_bytes):>12s} moved, "
+                f"{s.modeled_flops:.3e} flop "
+                f"({s.intensity:8.2f} flop/B), "
+                f"{s.measured_seconds * 1e3:9.3f} ms measured, "
+                f"flops agreement {s.flops_agreement:.3f}, "
+                f"err {s.verify_error:.1e}"
+            )
+        return "\n".join(lines)
+
+
+def roofline_report(
+    pipeline: Pipeline,
+    model_dims: Mapping[str, int],
+    measure_dims: Mapping[str, int],
+    backend: str = "numpy",
+    seed: int = 0,
+    repeats: int = 3,
+    rtol: float = 1e-10,
+    atol: float = 1e-10,
+    peak_flops: Optional[float] = None,
+    mem_bandwidth: Optional[float] = None,
+) -> RooflineReport:
+    """Model-vs-measurement report for every stage of ``pipeline``.
+
+    Compiles the pipeline through ``backend`` with full stage
+    verification at ``measure_dims`` (so a wrong candidate can never be
+    reported as validated), times each stage on the same concrete
+    inputs, and pairs the measurements with the byte/flop models at
+    ``model_dims``.
+    """
+    compiled = pipeline.compile(
+        verify_dims=measure_dims,
+        seed=seed,
+        rtol=rtol,
+        atol=atol,
+        backend=backend,
+    )
+    movement = pipeline.report(model_dims)
+    arrays, tables = pipeline.make_inputs(dict(measure_dims), seed=seed)
+    stages = []
+    for i, stage in enumerate(compiled.stages):
+        runner = compiled.runners[stage.name]
+        best = float("inf")
+        executed = None
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            _, executed = runner(dict(measure_dims), arrays, tables)
+            best = min(best, time.perf_counter() - t0)
+        modeled_bytes = movement.stages[i].total_bytes
+        modeled_flops = stage_flops(stage.sdfg, model_dims)
+        roofline_seconds = None
+        if peak_flops or mem_bandwidth:
+            bounds = [0.0]
+            if peak_flops:
+                bounds.append(modeled_flops / peak_flops)
+            if mem_bandwidth:
+                bounds.append(modeled_bytes / mem_bandwidth)
+            roofline_seconds = max(bounds)
+        stages.append(
+            RooflineStage(
+                name=stage.name,
+                description=stage.description,
+                modeled_bytes=modeled_bytes,
+                modeled_flops=modeled_flops,
+                measured_seconds=best,
+                measured_flops=int(np.rint(executed.report.flops)),
+                modeled_measure_flops=stage_flops(
+                    stage.sdfg, measure_dims
+                ),
+                verify_error=compiled.verification[stage.name],
+                roofline_seconds=roofline_seconds,
+            )
+        )
+    return RooflineReport(
+        pipeline=pipeline.name,
+        backend=compiled.backend,
+        model_dims=dict(model_dims),
+        measure_dims=dict(measure_dims),
+        stages=tuple(stages),
+    )

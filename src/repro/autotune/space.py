@@ -1,0 +1,648 @@
+"""Move-space enumeration: legal next steps from any SDFG state.
+
+The autotuner treats optimization recipes as data: a :class:`Move` is a
+serializable description of one :class:`~repro.sdfg.passes.Pass`
+application, and :func:`enumerate_moves` lists every move that is legal
+from the current graph by instantiating each pass type over its
+transformation's ``match()`` site enumeration —
+
+* **fission** sites with parameter reductions discovered structurally
+  (:func:`discover_reductions`),
+* **redundancy** removal sites as matched,
+* **batch** substitutions driven by a :class:`BatchTemplate` library
+  (the only domain knowledge the search receives: which replacement
+  tasklets exist, *not* when to apply them),
+* **layout** moves — permutations that establish a template's required
+  array layouts, plus generic bring-dimension-to-front rotations
+  (the ``LayoutPass`` permutation axis of the space),
+* **expansion** subsets shared by top-level scopes, **fusion** groups
+  and **shrink** sites as matched, and
+* **tile** moves over a size menu (the ``TilePass`` parameter axis).
+
+Every move re-selects its site through a fresh ``match()`` when applied,
+so a candidate that no longer matches fails loudly instead of silently
+transforming the wrong scope; :func:`apply_move` filters such failures
+during expansion, making the enumerated frontier legal by construction.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..sdfg import SDFG, SDFGState, Memlet, Tasklet
+from ..sdfg.nodes import AccessNode, MapEntry, MapExit
+from ..sdfg.passes import (
+    BatchPass,
+    ExpandPass,
+    FissionPass,
+    FusePass,
+    LayoutPass,
+    Pass,
+    RedundancyPass,
+    ShrinkPass,
+    TilePass,
+)
+from ..sdfg.transformations import (
+    ArrayShrink,
+    BatchedOperationSubstitution,
+    MapFission,
+    MapFusion,
+    MapTiling,
+)
+from ..sdfg.transformations.redundancy import RedundantComputationRemoval
+
+__all__ = [
+    "AutotuneError",
+    "BatchTemplate",
+    "MoveLibrary",
+    "Move",
+    "KIND_PRIORITY",
+    "ENABLER_KINDS",
+    "discover_reductions",
+    "enumerate_moves",
+    "apply_move",
+    "move_from_dict",
+    "state_signature",
+]
+
+
+class AutotuneError(ValueError):
+    """The search was misconfigured or produced an invalid result."""
+
+
+#: deterministic tiebreak order between move kinds: structural wins
+#: (fission/redundancy) first, then the payoff moves, then byte-neutral
+#: enablers, generic layout rotations and tiling last.
+KIND_PRIORITY: Dict[str, int] = {
+    "fission": 0,
+    "redundancy": 1,
+    "batch": 2,
+    "shrink": 3,
+    "layout": 4,       # template-directed (spec carries "template")
+    "expand": 5,
+    "fuse": 6,
+    "tile": 7,
+    "layout*": 8,      # generic rotation (no template)
+}
+
+#: byte-neutral kinds the greedy plateau escape is allowed to chain
+ENABLER_KINDS = ("layout", "expand", "fuse")
+
+
+@dataclass(frozen=True)
+class BatchTemplate:
+    """A reusable batched-tasklet substitution the search may instantiate.
+
+    Templates are the library's physical-operator vocabulary (which
+    batched kernels exist — e.g. "the per-(kz, E) multiplications form
+    one GEMM"); *when* a template applies is decided structurally:
+    every array in ``required_layouts`` must currently have exactly the
+    required symbolic shape (rank gates included), and a matching
+    :class:`BatchedOperationSubstitution` site must exist.  When the
+    shapes differ only by a permutation, :func:`enumerate_moves` offers
+    the layout move establishing them instead.
+    """
+
+    name: str
+    description: str
+    #: the array whose single-tasklet producer is substituted
+    array: str
+    #: map parameters absorbed into the batched tasklet
+    batch_params: Tuple[str, ...]
+    #: prototype replacement tasklet (fresh nodes are cloned per use)
+    tasklet: Tasklet
+    in_memlets: Mapping[str, Memlet]
+    out_memlets: Mapping[str, Memlet]
+    #: array name -> symbolic shape the template's memlets assume
+    required_layouts: Mapping[str, Tuple[Any, ...]]
+
+    def make_pass(self, stage: str) -> BatchPass:
+        return BatchPass(
+            stage,
+            self.description,
+            array=self.array,
+            batch_params=self.batch_params,
+            tasklet=self.tasklet,
+            in_memlets=self.in_memlets,
+            out_memlets=self.out_memlets,
+        )
+
+
+@dataclass(frozen=True)
+class MoveLibrary:
+    """Everything :func:`enumerate_moves` needs beyond the graph itself."""
+
+    templates: Tuple[BatchTemplate, ...] = ()
+    #: tile-size menu for the ``TilePass`` axis of the space
+    tile_sizes: Tuple[int, ...] = (2,)
+    #: offer generic bring-dim-to-front layout rotations
+    generic_layouts: bool = True
+
+    def template(self, name: str) -> BatchTemplate:
+        for t in self.templates:
+            if t.name == name:
+                return t
+        raise AutotuneError(
+            f"no batch template {name!r} in library "
+            f"({[t.name for t in self.templates]})"
+        )
+
+
+@dataclass(frozen=True)
+class Move:
+    """One serializable candidate step: a pass kind plus its config."""
+
+    kind: str
+    spec: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Canonical spec: sequences become tuples, so a move's ``key``
+        # is stable across the JSON round trip (lists) and whatever
+        # container the enumerator happened to build.
+        object.__setattr__(self, "spec", _canon(self.spec))
+
+    @property
+    def priority(self) -> int:
+        if self.kind == "layout" and not self.spec.get("template"):
+            return KIND_PRIORITY["layout*"]
+        return KIND_PRIORITY[self.kind]
+
+    @property
+    def key(self) -> str:
+        """Deterministic identity/ordering key."""
+        items = sorted((k, repr(v)) for k, v in self.spec.items())
+        return f"{self.kind}:{items!r}"
+
+    def describe(self) -> str:
+        s = self.spec
+        if self.kind == "fission":
+            red = s.get("reduce") or {}
+            extra = f", reducing {red}" if red else ""
+            return f"fission of {s['scope']!r}{extra}"
+        if self.kind == "redundancy":
+            return f"remove {list(s['params'])} offsets from {s['array']!r}"
+        if self.kind == "layout":
+            t = s.get("template")
+            why = f" (enables {t!r})" if t else ""
+            return f"permute {sorted(s['perms'])}{why}"
+        if self.kind == "batch":
+            return f"batch substitution {s['template']!r}"
+        if self.kind == "expand":
+            return f"hoist {list(s['outer'])} to outer maps"
+        if self.kind == "fuse":
+            return f"fuse scopes over {list(s['params'])}"
+        if self.kind == "shrink":
+            return f"shrink {s['array']!r} over {list(s['params'])}"
+        if self.kind == "tile":
+            return f"tile {s['scope']!r} by {s['tile_sizes']}"
+        return f"{self.kind} {s}"
+
+    def build_pass(
+        self, stage: str, library: Optional[MoveLibrary] = None
+    ) -> Pass:
+        """A fresh configured pass applying this move as pipeline stage
+        ``stage`` (batch moves resolve their template via ``library``)."""
+        s = self.spec
+        if self.kind == "fission":
+            return FissionPass(
+                stage, self.describe(),
+                reduce=s.get("reduce") or {}, scope=s.get("scope"),
+            )
+        if self.kind == "redundancy":
+            return RedundancyPass(
+                stage, self.describe(), array=s["array"], params=s["params"]
+            )
+        if self.kind == "layout":
+            return LayoutPass(stage, self.describe(), perms=s["perms"])
+        if self.kind == "batch":
+            if library is None:
+                raise AutotuneError(
+                    f"batch move {s['template']!r} needs a MoveLibrary"
+                )
+            return library.template(s["template"]).make_pass(stage)
+        if self.kind == "expand":
+            return ExpandPass(stage, self.describe(), outer=s["outer"])
+        if self.kind == "fuse":
+            return FusePass(
+                stage, self.describe(), label=s["label"], params=s["params"]
+            )
+        if self.kind == "shrink":
+            return ShrinkPass(
+                stage, self.describe(),
+                arrays=(s["array"],), params=s["params"],
+            )
+        if self.kind == "tile":
+            return TilePass(
+                stage, self.describe(),
+                tile_sizes=s["tile_sizes"],
+                divides_evenly=s.get("divides_evenly", False),
+                scope=s.get("scope"),
+            )
+        raise AutotuneError(f"unknown move kind {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "spec": _plain(self.spec)}
+
+
+def _plain(value):
+    """JSON-serializable copy (tuples -> lists, nested dicts kept)."""
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def _canon(value):
+    """Canonical in-memory form: every sequence a tuple."""
+    if isinstance(value, dict):
+        return {k: _canon(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon(v) for v in value)
+    return value
+
+
+def move_from_dict(d: Mapping[str, Any]) -> Move:
+    """Rebuild a move from its :meth:`Move.to_dict` form (trace resume).
+    ``Move`` canonicalizes the spec, so the JSON lists are harmless."""
+    return Move(kind=d["kind"], spec=dict(d["spec"]))
+
+
+# -- structural discovery -----------------------------------------------------
+
+
+def _direct_params(state: SDFGState, tasklet: Tasklet, params) -> set:
+    """Map parameters appearing in the tasklet's own memlet subsets."""
+    out = set()
+    for u, v, d in state.edges():
+        mem = d.get("memlet")
+        if mem is None or (u is not tasklet and v is not tasklet):
+            continue
+        out |= set(mem.subset.free_symbols) & set(params)
+    return out
+
+
+def discover_reductions(
+    sdfg: SDFG, state: SDFGState, site
+) -> Dict[str, List[str]]:
+    """Parameters that fission can sum away per intermediate (Fig. 9's
+    ``j``-reduction), found structurally:
+
+    a parameter ``p`` is reducible into intermediate ``v`` iff it indexes
+    only ``v``'s producer (no other tasklet in the scope touches it),
+    every non-transient write of the scope accumulates with ``wcr=sum``
+    (so summing early commutes with the final accumulation), and every
+    transitive consumer of ``v`` carries a declarative multilinear ``op``
+    annotation (the linearity witness that justifies pushing the sum
+    through).  On the paper's Fig. 8 kernel this recovers exactly
+    ``{"dHD": ["j"]}``.
+    """
+    entry: MapEntry = site.nodes[0]
+    children = state.scope_children(entry)
+    tasklets = [n for n in children if isinstance(n, Tasklet)]
+    params = list(entry.map.params)
+    directs = {t: _direct_params(state, t, params) for t in tasklets}
+
+    # Every final (non-transient) write must be a sum accumulation.
+    for t in tasklets:
+        for u, v, d in state.out_edges(t):
+            mem = d.get("memlet")
+            if mem is None:
+                continue
+            if not sdfg.arrays[mem.data].transient and mem.wcr != "sum":
+                return {}
+
+    # Producer / consumers per intermediate; transitive consumer closure.
+    producer: Dict[str, Tasklet] = {}
+    consumers: Dict[str, List[Tasklet]] = {}
+    for u, v, d in state.edges():
+        mem = d.get("memlet")
+        if mem is None or mem.data not in site.arrays:
+            continue
+        if isinstance(u, Tasklet) and isinstance(v, AccessNode):
+            producer[mem.data] = u
+        if isinstance(v, Tasklet) and isinstance(u, AccessNode):
+            consumers.setdefault(mem.data, []).append(v)
+
+    def transitive_consumers(array: str) -> List[Tasklet]:
+        out, todo = [], list(consumers.get(array, []))
+        while todo:
+            t = todo.pop()
+            if t in out:
+                continue
+            out.append(t)
+            for u, v, d in state.out_edges(t):
+                mem = d.get("memlet")
+                if mem is not None and mem.data in site.arrays:
+                    todo.extend(consumers.get(mem.data, []))
+        return out
+
+    found: Dict[str, List[str]] = {}
+    for array in site.arrays:
+        prod = producer.get(array)
+        if prod is None:
+            continue
+        downstream = transitive_consumers(array)
+        if not downstream or any(t.op is None for t in downstream):
+            continue
+        reducible = [
+            p
+            for p in params
+            if p in directs[prod]
+            and all(p not in directs[t] for t in tasklets if t is not prod)
+        ]
+        if reducible:
+            found[array] = reducible
+    return found
+
+
+# -- per-kind move generators -------------------------------------------------
+
+
+def _fission_moves(sdfg: SDFG, state: SDFGState) -> List[Move]:
+    moves = []
+    for site in MapFission.match(sdfg, state):
+        reduce = discover_reductions(sdfg, state, site)
+        variants = [reduce, {}] if reduce else [{}]
+        for red in variants:
+            moves.append(
+                Move(
+                    "fission",
+                    {
+                        "scope": site.scope,
+                        # tuples: the JSON round trip through
+                        # move_from_dict must preserve the move key
+                        "reduce": {k: tuple(v) for k, v in red.items()},
+                    },
+                )
+            )
+    return moves
+
+
+def _redundancy_moves(sdfg: SDFG, state: SDFGState) -> List[Move]:
+    return [
+        Move(
+            "redundancy",
+            {"array": site.arrays[0], "params": tuple(site.params)},
+        )
+        for site in RedundantComputationRemoval.match(sdfg, state)
+    ]
+
+
+def _layout_perm(current, required) -> Optional[Tuple[int, ...]]:
+    """A new-from-old permutation mapping ``current`` onto ``required``
+    by greedy positional matching of symbolically equal extents (handles
+    duplicated extents such as the two Norb axes), or ``None`` when the
+    shapes are not a permutation of each other (rank gate included)."""
+    if len(current) != len(required):
+        return None
+    used: set = set()
+    perm = []
+    for req in required:
+        for j, cur in enumerate(current):
+            if j not in used and cur == req:
+                used.add(j)
+                perm.append(j)
+                break
+        else:
+            return None
+    return tuple(perm)
+
+
+def _template_moves(
+    sdfg: SDFG, state: SDFGState, library: MoveLibrary
+) -> List[Move]:
+    """Batch moves whose template is applicable now, or the layout move
+    establishing a template's required layouts when only those differ."""
+    sites = BatchedOperationSubstitution.match(sdfg, state)
+    moves = []
+    for t in library.templates:
+        perms: Dict[str, Tuple[int, ...]] = {}
+        applicable = True
+        for array, required in t.required_layouts.items():
+            desc = sdfg.arrays.get(array)
+            if desc is None:
+                applicable = False
+                break
+            current = tuple(desc.shape)
+            if current == tuple(required):
+                continue
+            perm = _layout_perm(current, tuple(required))
+            if perm is None:
+                applicable = False
+                break
+            perms[array] = perm
+        if not applicable:
+            continue
+        if not any(
+            t.array in s.arrays and set(t.batch_params) <= set(s.params)
+            for s in sites
+        ):
+            continue
+        if perms:
+            moves.append(
+                Move(
+                    "layout",
+                    {
+                        "perms": {a: list(p) for a, p in sorted(perms.items())},
+                        "template": t.name,
+                    },
+                )
+            )
+        else:
+            moves.append(Move("batch", {"template": t.name}))
+    return moves
+
+
+def _generic_layout_moves(sdfg: SDFG, state: SDFGState) -> List[Move]:
+    """Bring-dimension-to-front rotations of every referenced array —
+    the unguided ``LayoutPass`` axis of the space (byte-neutral under
+    the movement model, so only a tiebreak or enabler by accident)."""
+    referenced = set()
+    for u, v, d in state.edges():
+        mem = d.get("memlet")
+        if mem is not None:
+            referenced.add(mem.data)
+    moves = []
+    for name in sorted(referenced):
+        rank = sdfg.arrays[name].rank
+        for dim in range(1, rank):
+            perm = (dim,) + tuple(i for i in range(rank) if i != dim)
+            moves.append(
+                Move("layout", {"perms": {name: list(perm)}})
+            )
+    return moves
+
+
+def _expansion_moves(state: SDFGState) -> List[Move]:
+    """Hoistable parameter subsets shared (name and range) by at least
+    two top-level scopes, each leaving a non-empty inner map."""
+    tops = state.top_level_maps()
+    if len(tops) < 2:
+        return []
+
+    def binding(entry, p):
+        m = entry.map
+        return m.range.dims[m.params.index(p)]
+
+    common_sets = []
+    for e1, e2 in combinations(tops, 2):
+        shared = tuple(
+            p
+            for p in e1.map.params
+            if p in e2.map.params and binding(e1, p) == binding(e2, p)
+        )
+        if shared and shared not in common_sets:
+            common_sets.append(shared)
+
+    seen: set = set()
+    moves = []
+    for shared in common_sets:
+        for size in range(1, min(len(shared), 4) + 1):
+            for subset in combinations(shared, size):
+                if subset in seen:
+                    continue
+                seen.add(subset)
+                # Expansion must act on >= 2 scopes (else no fusion can
+                # follow it; hoisting one scope alone is pure noise) and
+                # leave every affected scope a non-empty inner map —
+                # ExpandPass enforces the latter per map.
+                eligible = [
+                    e for e in tops if set(subset) < set(e.map.params)
+                ]
+                if len(eligible) < 2:
+                    continue
+                moves.append(Move("expand", {"outer": subset}))
+    return moves
+
+
+def _fuse_moves(sdfg: SDFG, state: SDFGState) -> List[Move]:
+    return [
+        Move(
+            "fuse",
+            {
+                "params": tuple(site.params),
+                "label": "fused_" + "_".join(site.params),
+            },
+        )
+        for site in MapFusion.match(sdfg, state)
+    ]
+
+
+def _shrink_moves(sdfg: SDFG, state: SDFGState) -> List[Move]:
+    return [
+        Move(
+            "shrink",
+            {"array": site.arrays[0], "params": tuple(site.params)},
+        )
+        for site in ArrayShrink.match(sdfg, state)
+    ]
+
+
+def _tile_moves(
+    sdfg: SDFG, state: SDFGState, library: MoveLibrary
+) -> List[Move]:
+    moves = []
+    for site in MapTiling.match(sdfg, state):
+        for p in site.params:
+            for size in library.tile_sizes:
+                moves.append(
+                    Move(
+                        "tile",
+                        {
+                            "scope": site.scope,
+                            "tile_sizes": {p: size},
+                            "divides_evenly": False,
+                        },
+                    )
+                )
+    return moves
+
+
+def enumerate_moves(
+    sdfg: SDFG, state: SDFGState, library: MoveLibrary
+) -> List[Move]:
+    """Every candidate next move from the current graph, in deterministic
+    kind-priority order.  Legality is structural (each generator reads a
+    fresh ``match()`` enumeration); moves that still fail to apply —
+    e.g. a tile size incompatible with a bound — are discarded by
+    :func:`apply_move` during search expansion."""
+    moves: List[Move] = []
+    moves += _fission_moves(sdfg, state)
+    moves += _redundancy_moves(sdfg, state)
+    moves += _template_moves(sdfg, state, library)
+    moves += _shrink_moves(sdfg, state)
+    moves += _expansion_moves(state)
+    moves += _fuse_moves(sdfg, state)
+    moves += _tile_moves(sdfg, state, library)
+    if library.generic_layouts:
+        moves += _generic_layout_moves(sdfg, state)
+    moves.sort(key=lambda m: (m.priority, m.key))
+    return moves
+
+
+def apply_move(
+    sdfg: SDFG,
+    move: Move,
+    stage: str,
+    library: Optional[MoveLibrary] = None,
+) -> Tuple[SDFG, Pass]:
+    """Apply ``move`` to a deep copy of ``sdfg`` (validated), returning
+    the new graph and the configured pass.  Raises ``ValueError``
+    subclasses (``PassError``/``TransformationError``/...) when the move
+    does not apply — search expansion treats that as 'not a child'."""
+    out = copy.deepcopy(sdfg)
+    p = move.build_pass(stage, library)
+    p.run(out, out.states[0])
+    out.validate()
+    return out, p
+
+
+# -- state identity -----------------------------------------------------------
+
+
+def state_signature(sdfg: SDFG) -> str:
+    """A deterministic structural fingerprint for search deduplication.
+
+    Covers array descriptors (name, symbolic shape, transience) and, per
+    state, the topologically ordered nodes with their full configuration
+    plus every edge's memlet.  Graphs reached by replaying the same move
+    sequence produce identical signatures (the basis of trace resume);
+    distinct build histories of isomorphic graphs may differ — the
+    conservative direction for deduplication.
+    """
+    parts: List[str] = []
+    for name in sorted(sdfg.arrays):
+        d = sdfg.arrays[name]
+        parts.append(f"A|{name}|{tuple(d.shape)!r}|{int(d.transient)}")
+    for st in sdfg.states:
+        ids: Dict[Any, int] = {}
+        for n in st.topological_nodes():
+            ids[n] = len(ids)
+            if isinstance(n, Tasklet):
+                parts.append(
+                    f"T|{ids[n]}|{n.label}|{list(n.inputs)}|"
+                    f"{list(n.outputs)}|{n.op}"
+                )
+            elif isinstance(n, MapEntry):
+                parts.append(
+                    f"ME|{ids[n]}|{n.map.label}|{list(n.map.params)}|"
+                    f"{n.map.range!r}"
+                )
+            elif isinstance(n, MapExit):
+                parts.append(f"MX|{ids[n]}|{n.map.label}")
+            elif isinstance(n, AccessNode):
+                parts.append(f"AN|{ids[n]}|{n.data}")
+            else:
+                parts.append(f"N|{ids[n]}|{type(n).__name__}")
+        edges = sorted(
+            f"E|{ids[u]}|{ids[v]}|{d.get('memlet')!r}|"
+            f"{d.get('src_conn')}|{d.get('dst_conn')}"
+            for u, v, d in st.edges()
+        )
+        parts.extend(edges)
+    return hashlib.sha1("\n".join(parts).encode()).hexdigest()[:16]

@@ -19,6 +19,11 @@ __all__ = [
     "RUNTIMES",
     "SSE_SCHEDULES",
     "SERVICE_MODES",
+    "AUTOTUNE_STRATEGIES",
+    "default_autotune_strategy",
+    "default_autotune_beam_width",
+    "default_autotune_max_moves",
+    "default_autotune_escape_depth",
     "default_engine",
     "default_rgf_kernel",
     "default_runtime",
@@ -188,6 +193,81 @@ def default_service_cache_entries() -> int:
             "(0 disables result caching)"
         )
     return entries
+
+
+#: Search strategies of the transformation autotuner (``repro.autotune``):
+#: ``greedy`` commits the best byte-reducing move per step and escapes
+#: plateaus with a bounded breadth-first probe over enabler moves;
+#: ``beam`` keeps the best-``width`` frontier per depth with dominated
+#: states pruned.
+AUTOTUNE_STRATEGIES: Tuple[str, ...] = ("greedy", "beam")
+
+
+def default_autotune_strategy() -> str:
+    """Search strategy used when the autotuner is invoked without one.
+
+    Overridable through the ``REPRO_AUTOTUNE_STRATEGY`` environment
+    variable (an explicitly set but unknown value raises, mirroring
+    ``REPRO_ENGINE``); the built-in default is ``greedy``.
+    """
+    env = os.environ.get("REPRO_AUTOTUNE_STRATEGY", "").strip().lower()
+    if not env:
+        return "greedy"
+    if env not in AUTOTUNE_STRATEGIES:
+        raise ValueError(
+            f"REPRO_AUTOTUNE_STRATEGY={env!r} is not a valid autotune "
+            f"strategy; expected one of {AUTOTUNE_STRATEGIES}"
+        )
+    return env
+
+
+def _autotune_positive_int(var: str, default: int, what: str) -> int:
+    env = os.environ.get(var, "").strip()
+    if not env:
+        return default
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{var}={env!r} is not a valid {what}; "
+            "expected a positive integer"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{var}={env!r} must be a positive integer")
+    return value
+
+
+def default_autotune_beam_width() -> int:
+    """Beam width of the autotuner's ``beam`` strategy.
+
+    Overridable through ``REPRO_AUTOTUNE_BEAM_WIDTH`` (a positive int;
+    invalid values raise).  The default of 4 keeps enough byte-neutral
+    enabler states alive to thread layout -> batch -> fuse sequences.
+    """
+    return _autotune_positive_int("REPRO_AUTOTUNE_BEAM_WIDTH", 4, "beam width")
+
+
+def default_autotune_max_moves() -> int:
+    """Maximum committed moves (pipeline depth) of one autotune search.
+
+    Overridable through ``REPRO_AUTOTUNE_MAX_MOVES`` (a positive int;
+    invalid values raise).  The default of 24 is ~2.5x the hand recipe's
+    depth — a termination backstop, not a tuning dial.
+    """
+    return _autotune_positive_int("REPRO_AUTOTUNE_MAX_MOVES", 24, "move budget")
+
+
+def default_autotune_escape_depth() -> int:
+    """Plateau-escape probe depth of the autotuner's ``greedy`` strategy.
+
+    Overridable through ``REPRO_AUTOTUNE_ESCAPE_DEPTH`` (a positive int;
+    invalid values raise).  The default of 4 covers the longest
+    byte-neutral chain the move space produces before a payoff
+    (expand -> fuse -> shrink, plus one layout move).
+    """
+    return _autotune_positive_int(
+        "REPRO_AUTOTUNE_ESCAPE_DEPTH", 4, "escape depth"
+    )
 
 
 def validate_parameters(base=None, **overrides) -> "SimulationParameters":

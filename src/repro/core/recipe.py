@@ -38,7 +38,6 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..sdfg import (
-    BatchPass,
     CompiledPipeline,
     ExpandPass,
     FissionPass,
@@ -56,17 +55,28 @@ from ..sdfg import (
     neighbor_indirection_hook,
     symbols,
 )
+from ..autotune import (
+    BatchTemplate,
+    MoveLibrary,
+    SearchConfig,
+    SearchResult,
+)
+from ..autotune import autotune as _autotune
 from ..sdfg import pipeline as _pipeline_mod
 from .sse_sdfg import build_sse_sigma_sdfg, sse_sigma_reference
 
 __all__ = [
     "Stage",
     "SSE_PIPELINE",
+    "SSE_BATCH_TEMPLATES",
     "RECIPE_SUMMARY",
     "build_stages",
     "compile_sse_pipeline",
     "compiled_sse_kernel",
     "sse_movement_report",
+    "sse_move_library",
+    "tuned_sse_search",
+    "tuned_sse_pipeline",
     "verify_stage",
     "run_stage",
 ]
@@ -101,14 +111,202 @@ def _windowed_sigma_flops(gh, hd):
     return 8 * gh.shape[0] * hd.shape[0] * gh.shape[-1] ** 3
 
 
-def _sse_passes() -> List:
-    """The Fig. 8 → 12 pass sequence (pure declaration)."""
-    Nkz, NE, Nw = symbols("Nkz NE Nw")
+def _batched_dhd_code(h, d):
+    # dHD[qz, w] = sum_j dH[j] * D[qz, w, j] — the (qz, ω, j) loop nest of
+    # the elementwise scaling batched into one contraction per (i, a, b).
+    return {"hd": np.einsum("jxy,qwj->qwxy", h, d)}
+
+
+def _batched_dhd_flops(h, d):
+    return 8 * d.shape[0] * d.shape[1] * d.shape[2] * h.shape[-1] ** 2
+
+
+def _sse_templates() -> Tuple[BatchTemplate, ...]:
+    """The SSE batched-operator vocabulary the autotuner may instantiate.
+
+    The first two mirror the hand recipe's fig10d/fig11c substitutions
+    (the recipe builds its passes from these same templates); the third,
+    ``dhd_contract``, batches the ∇HD≷ scaling over ``(qz, ω, j)`` in one
+    move — summing ``j`` *inside* the tasklet removes the write-conflict
+    accumulation on ``dHD``, which is what lets the searched pipeline
+    fuse without a zero-initializer and beat the hand recipe's modeled
+    byte count.
+    """
+    Nkz, NE, Nqz, Nw, N3D = symbols("Nkz NE Nqz Nw N3D")
+    NA, NB, Norb = symbols("NA NB Norb")
     kz, qz, i, a, b = symbols("kz qz i a b")
-    Norb = symbols("Norb")[0]
     orb = (0, Norb - 1, 1)
     f = IndirectAccess("__neigh__", (a, b))
 
+    # Symbolic shapes the template memlets assume (rank gates included):
+    # originals for dH and D, the fig10c permuted layouts for the rest.
+    dH_layout = (NA, NB, N3D, Norb, Norb)
+    D_layout = (Nqz, Nw, NA, NB, N3D, N3D)
+    G_layout = (NA, Nkz, NE, Norb, Norb)
+    Sigma_layout = (NA, Nkz, NE, Norb, Norb)
+    tensor_layout = lambda t4, t5: (NA, NB, N3D, t4, t5, Norb, Norb)
+
+    dhg = BatchTemplate(
+        name="dhg_gemm",
+        description="Nkz*NE small multiplications fused into one GEMM",
+        array="dHG",
+        batch_params=("kz", "E"),
+        tasklet=Tasklet(
+            "dHG_gemm",
+            ["g", "h"],
+            ["gh"],
+            _batched_dhg_code,
+            flops=_batched_dhg_flops,
+            op="KExy,yz->KExz",
+        ),
+        in_memlets={
+            "g": Memlet(
+                "G", Range([(f, f), (0, Nkz - 1), (0, NE - 1), orb, orb])
+            ),
+            "h": Memlet("dH", Range([(a, a), (b, b), (i, i), orb, orb])),
+        },
+        out_memlets={
+            "gh": Memlet(
+                "dHG",
+                Range(
+                    [
+                        (a, a),
+                        (b, b),
+                        (i, i),
+                        (0, Nkz - 1),
+                        (0, NE - 1),
+                        orb,
+                        orb,
+                    ]
+                ),
+            )
+        },
+        required_layouts={
+            "G": G_layout,
+            "dH": dH_layout,
+            "dHG": tensor_layout(Nkz, NE),
+        },
+    )
+    sigma = BatchTemplate(
+        name="sigma_window_gemm",
+        description="ω accumulation substituted by a windowed GEMM",
+        array="Sigma",
+        batch_params=("E", "w"),
+        tasklet=Tasklet(
+            "sigma_gemm",
+            ["gh", "hd"],
+            ["out"],
+            _windowed_sigma_code,
+            flops=_windowed_sigma_flops,
+        ),
+        in_memlets={
+            "gh": Memlet(
+                "dHG",
+                Range(
+                    [
+                        (a, a),
+                        (b, b),
+                        (i, i),
+                        (kz - qz, kz - qz),
+                        (0, NE - 1),
+                        orb,
+                        orb,
+                    ]
+                ),
+            ),
+            "hd": Memlet(
+                "dHD",
+                Range(
+                    [(a, a), (b, b), (i, i), (qz, qz), (0, Nw - 1), orb, orb]
+                ),
+            ),
+        },
+        out_memlets={
+            "out": Memlet(
+                "Sigma",
+                Range([(a, a), (kz, kz), (0, NE - 1), orb, orb]),
+                wcr="sum",
+            )
+        },
+        required_layouts={
+            "dHG": tensor_layout(Nkz, NE),
+            "dHD": tensor_layout(Nqz, Nw),
+            "Sigma": Sigma_layout,
+        },
+    )
+    dhd = BatchTemplate(
+        name="dhd_contract",
+        description="(qz, ω, j) scaling batched into one contraction",
+        array="dHD",
+        batch_params=("qz", "w", "j"),
+        tasklet=Tasklet(
+            "dHD_contract",
+            ["h", "d"],
+            ["hd"],
+            _batched_dhd_code,
+            flops=_batched_dhd_flops,
+        ),
+        in_memlets={
+            "h": Memlet(
+                "dH", Range([(a, a), (b, b), (0, N3D - 1), orb, orb])
+            ),
+            "d": Memlet(
+                "D",
+                Range(
+                    [
+                        (0, Nqz - 1),
+                        (0, Nw - 1),
+                        (a, a),
+                        (b, b),
+                        (i, i),
+                        (0, N3D - 1),
+                    ]
+                ),
+            ),
+        },
+        out_memlets={
+            # j is consumed inside the contraction: no wcr left on dHD.
+            "hd": Memlet(
+                "dHD",
+                Range(
+                    [
+                        (a, a),
+                        (b, b),
+                        (i, i),
+                        (0, Nqz - 1),
+                        (0, Nw - 1),
+                        orb,
+                        orb,
+                    ]
+                ),
+            )
+        },
+        required_layouts={
+            "dH": dH_layout,
+            "D": D_layout,
+            "dHD": tensor_layout(Nqz, Nw),
+        },
+    )
+    return (dhg, sigma, dhd)
+
+
+#: batched-operator templates shared by the hand recipe and the autotuner
+SSE_BATCH_TEMPLATES: Tuple[BatchTemplate, ...] = _sse_templates()
+
+
+def sse_move_library() -> MoveLibrary:
+    """The autotuner move library for the SSE kernel: the batch templates
+    above plus the default layout/tile axes of the search space."""
+    return MoveLibrary(templates=SSE_BATCH_TEMPLATES)
+
+
+def _template(name: str) -> BatchTemplate:
+    return sse_move_library().template(name)
+
+
+def _sse_passes() -> List:
+    """The Fig. 8 → 12 pass sequence (pure declaration); the two batched
+    substitutions are instantiated from :data:`SSE_BATCH_TEMPLATES`."""
     return [
         FissionPass(
             "fig9",
@@ -131,87 +329,8 @@ def _sse_passes() -> List:
                 "dHD": _TENSOR_PERM,
             },
         ),
-        BatchPass(
-            "fig10d",
-            "Nkz*NE small multiplications fused into one GEMM",
-            array="dHG",
-            batch_params=("kz", "E"),
-            tasklet=Tasklet(
-                "dHG_gemm",
-                ["g", "h"],
-                ["gh"],
-                _batched_dhg_code,
-                flops=_batched_dhg_flops,
-                op="KExy,yz->KExz",
-            ),
-            in_memlets={
-                "g": Memlet(
-                    "G",
-                    Range([(f, f), (0, Nkz - 1), (0, NE - 1), orb, orb]),
-                ),
-                "h": Memlet(
-                    "dH", Range([(a, a), (b, b), (i, i), orb, orb])
-                ),
-            },
-            out_memlets={
-                "gh": Memlet(
-                    "dHG",
-                    Range(
-                        [
-                            (a, a),
-                            (b, b),
-                            (i, i),
-                            (0, Nkz - 1),
-                            (0, NE - 1),
-                            orb,
-                            orb,
-                        ]
-                    ),
-                )
-            },
-        ),
-        BatchPass(
-            "fig11c",
-            "ω accumulation substituted by a windowed GEMM",
-            array="Sigma",
-            batch_params=("E", "w"),
-            tasklet=Tasklet(
-                "sigma_gemm",
-                ["gh", "hd"],
-                ["out"],
-                _windowed_sigma_code,
-                flops=_windowed_sigma_flops,
-            ),
-            in_memlets={
-                "gh": Memlet(
-                    "dHG",
-                    Range(
-                        [
-                            (a, a),
-                            (b, b),
-                            (i, i),
-                            (kz - qz, kz - qz),
-                            (0, NE - 1),
-                            orb,
-                            orb,
-                        ]
-                    ),
-                ),
-                "hd": Memlet(
-                    "dHD",
-                    Range(
-                        [(a, a), (b, b), (i, i), (qz, qz), (0, Nw - 1), orb, orb]
-                    ),
-                ),
-            },
-            out_memlets={
-                "out": Memlet(
-                    "Sigma",
-                    Range([(a, a), (kz, kz), (0, NE - 1), orb, orb]),
-                    wcr="sum",
-                )
-            },
-        ),
+        _template("dhg_gemm").make_pass("fig10d"),
+        _template("sigma_window_gemm").make_pass("fig11c"),
         ExpandPass(
             "fig12a", "(a, b) hoisted to outer maps", outer=("a", "b")
         ),
@@ -271,6 +390,85 @@ def build_stages() -> List[Stage]:
 def sse_movement_report(dims: Mapping[str, int]) -> PipelineReport:
     """Per-stage modeled data movement (paper §4.1) at concrete dims."""
     return SSE_PIPELINE.report(dims)
+
+
+#: the search problem: the untransformed Fig. 8 graph with its hooks,
+#: input factory and reference kernel — and *no* recipe knowledge.
+SSE_SEARCH_BASE = Pipeline(
+    name="sse_search",
+    passes=[],
+    graph_factory=build_sse_sigma_sdfg,
+    initial=("fig8", "initial Σ≷ dataflow"),
+    hooks=_sse_hooks,
+    make_inputs=_sse_inputs,
+    reference=_sse_reference,
+)
+
+#: searched results, cached per (dims, resolved search settings)
+_TUNED_CACHE: Dict[tuple, SearchResult] = {}
+
+
+def tuned_sse_search(
+    dims: Mapping[str, int],
+    strategy: Optional[str] = None,
+    beam_width: Optional[int] = None,
+    max_moves: Optional[int] = None,
+    verify: bool = True,
+    trace_path=None,
+    library: Optional[MoveLibrary] = None,
+) -> SearchResult:
+    """Autotune the SSE kernel from the untransformed Fig. 8 graph.
+
+    Runs :func:`repro.autotune.autotune` over :data:`SSE_SEARCH_BASE`
+    with :func:`sse_move_library`, minimizing modeled bytes at ``dims``;
+    with ``verify`` (default) every stage of the winner is checked
+    against :func:`sse_sigma_reference` at :data:`VERIFY_DIMS`.
+    ``strategy``/``beam_width``/``max_moves`` default to the
+    ``REPRO_AUTOTUNE_*`` knobs; ``library`` (default
+    :func:`sse_move_library`) restricts or extends the move space.
+    Results are cached per dims and resolved settings (except when
+    ``trace_path`` or a custom ``library`` is given — those carry their
+    own identity).
+    """
+    cfg = SearchConfig(
+        strategy=strategy,
+        beam_width=beam_width,
+        max_moves=max_moves,
+        verify=verify,
+        verify_dims=dict(VERIFY_DIMS),
+    ).resolved()
+    if library is not None or trace_path is not None:
+        return _autotune(
+            SSE_SEARCH_BASE,
+            library or sse_move_library(),
+            dims,
+            cfg,
+            trace_path,
+        )
+    key = (
+        tuple(sorted(dims.items())),
+        cfg.strategy,
+        cfg.beam_width,
+        cfg.max_moves,
+        cfg.escape_depth,
+        verify,
+    )
+    if key not in _TUNED_CACHE:
+        _TUNED_CACHE[key] = _autotune(
+            SSE_SEARCH_BASE, sse_move_library(), dims, cfg
+        )
+    return _TUNED_CACHE[key]
+
+
+def tuned_sse_pipeline(
+    dims: Mapping[str, int],
+    strategy: Optional[str] = None,
+    **kwargs,
+) -> Pipeline:
+    """The searched SSE pipeline (see :func:`tuned_sse_search`) — the
+    autotuned counterpart of :data:`SSE_PIPELINE`, ready for
+    ``report``/``compile``."""
+    return tuned_sse_search(dims, strategy=strategy, **kwargs).pipeline
 
 
 def compile_sse_pipeline(

@@ -52,6 +52,35 @@ class PassError(ValueError):
     """A pass found no (or ambiguously many) matching sites."""
 
 
+def _describe_sites(
+    state: Optional[SDFGState], sites: Sequence[Site]
+) -> str:
+    """Render candidate sites as indented lines for failure messages.
+
+    Each line shows the site's own description (transformation, scope,
+    arrays, params) plus the labels of the scope chain enclosing its
+    anchor node, so a failing selection names concrete graph locations.
+    """
+    if not sites:
+        return ""
+    lines = []
+    for site in sites:
+        text = site.describe()
+        if state is not None and site.nodes:
+            try:
+                chain = state.scope_chain(site.nodes[0])
+            except Exception:
+                chain = []
+            if chain:
+                text += (
+                    " (scope chain: "
+                    + " < ".join(e.map.label for e in chain)
+                    + ")"
+                )
+        lines.append(f"  - {text}")
+    return "; candidate sites:\n" + "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class PassOutcome:
     """What one pass did to the graph: the sites it selected and the
@@ -119,6 +148,7 @@ class Pass:
             raise PassError(
                 f"pass {self.stage!r}: no matching site for "
                 f"{self.transformation.__name__} in state {state.label!r}"
+                + _describe_sites(state, sites)
             )
         for _, tx in chosen:
             tx.apply_checked(sdfg, state)
@@ -131,11 +161,26 @@ class Pass:
         )
 
     # -- selection helpers -----------------------------------------------------
-    def _unique(self, sites: List[Site], what: str) -> Site:
+    def _unique(
+        self,
+        sites: List[Site],
+        what: str,
+        state: Optional[SDFGState] = None,
+        candidates: Optional[List[Site]] = None,
+    ) -> Site:
+        """The single site matching the pass's configuration.
+
+        On failure the error lists the candidate sites — the ones that
+        matched the pass's filter when it is over-matched, the full
+        ``match()`` enumeration when nothing matched — with node labels
+        and scope chains, so search- and user-surfaced errors are
+        actionable rather than a bare count.
+        """
         if len(sites) != 1:
+            shown = sites if sites else (candidates or [])
             raise PassError(
                 f"pass {self.stage!r}: expected exactly one site {what}, "
-                f"found {len(sites)}"
+                f"found {len(sites)}" + _describe_sites(state, shown)
             )
         return sites[0]
 
@@ -144,7 +189,11 @@ class Pass:
 
 
 class FissionPass(Pass):
-    """Distribute the (unique) multi-tasklet map over its tasklets."""
+    """Distribute the (unique) multi-tasklet map over its tasklets.
+
+    ``scope`` optionally pins the pass to the map with that label —
+    the autotuner uses this to address one of several fission sites.
+    """
 
     transformation = MapFission
 
@@ -153,15 +202,25 @@ class FissionPass(Pass):
         stage: str,
         description: str,
         reduce: Optional[Mapping[str, Sequence[str]]] = None,
+        scope: Optional[str] = None,
     ):
         super().__init__(stage, description)
         self.reduce = {k: tuple(v) for k, v in (reduce or {}).items()}
+        self.scope = scope
 
     def config(self) -> Dict[str, Any]:
-        return {"reduce": {k: list(v) for k, v in self.reduce.items()}}
+        out: Dict[str, Any] = {
+            "reduce": {k: list(v) for k, v in self.reduce.items()}
+        }
+        if self.scope is not None:
+            out["scope"] = self.scope
+        return out
 
     def select(self, sdfg, state, sites):
-        site = self._unique(sites, "to fission")
+        hits = [
+            s for s in sites if self.scope is None or s.scope == self.scope
+        ]
+        site = self._unique(hits, "to fission", state, sites)
         tx = MapFission(
             site.nodes[0], reduce={k: list(v) for k, v in self.reduce.items()}
         )
@@ -189,7 +248,7 @@ class RedundancyPass(Pass):
             for s in sites
             if self.array in s.arrays and set(self.params) <= set(s.params)
         ]
-        site = self._unique(hits, f"producing {self.array!r}")
+        site = self._unique(hits, f"producing {self.array!r}", state, sites)
         return [
             (site, RedundantComputationRemoval(
                 site.nodes[0], self.array, list(self.params)
@@ -227,6 +286,7 @@ class LayoutPass(Pass):
                 raise PassError(
                     f"pass {self.stage!r}: array {array!r} not referenced "
                     f"in state {state.label!r}"
+                    + _describe_sites(state, sites)
                 )
             out.append((hits[0], DataLayoutTransformation(array, perm)))
         return out
@@ -275,7 +335,7 @@ class BatchPass(Pass):
             if self.array in s.arrays
             and set(self.batch_params) <= set(s.params)
         ]
-        site = self._unique(hits, f"writing {self.array!r}")
+        site = self._unique(hits, f"writing {self.array!r}", state, sites)
         # Fresh node and memlet instances per application: the pass is a
         # reusable declaration, the graph owns what it attaches.
         proto = self.tasklet
@@ -348,7 +408,7 @@ class FusePass(Pass):
             for s in sites
             if self.params is None or s.params == self.params
         ]
-        site = self._unique(hits, "of fusable scopes")
+        site = self._unique(hits, "of fusable scopes", state, sites)
         return [(site, MapFusion(list(site.nodes), label=self.label))]
 
 
@@ -375,7 +435,7 @@ class ShrinkPass(Pass):
         out = []
         for array in self.arrays:
             hits = [s for s in sites if array in s.arrays]
-            site = self._unique(hits, f"shrinking {array!r}")
+            site = self._unique(hits, f"shrinking {array!r}", state, sites)
             keep = [
                 (pos, p)
                 for pos, p in zip(site.dims, site.params)
@@ -385,6 +445,7 @@ class ShrinkPass(Pass):
                 raise PassError(
                     f"pass {self.stage!r}: no shrinkable dims of {array!r} "
                     f"indexed by {self.params}"
+                    + _describe_sites(state, sites)
                 )
             dims = [pos for pos, _ in keep]
             params = [p for _, p in keep]
@@ -393,7 +454,11 @@ class ShrinkPass(Pass):
 
 
 class TilePass(Pass):
-    """Tile the (unique) map scope carrying all tiled parameters."""
+    """Tile the (unique) map scope carrying all tiled parameters.
+
+    ``scope`` optionally pins the pass to the map with that label —
+    the autotuner uses this to address one of several tileable scopes.
+    """
 
     transformation = MapTiling
 
@@ -403,22 +468,30 @@ class TilePass(Pass):
         description: str,
         tile_sizes: Mapping[str, Any],
         divides_evenly: bool = True,
+        scope: Optional[str] = None,
     ):
         super().__init__(stage, description)
         self.tile_sizes = dict(tile_sizes)
         self.divides_evenly = divides_evenly
+        self.scope = scope
 
     def config(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "tile_sizes": {k: repr(v) for k, v in self.tile_sizes.items()},
             "divides_evenly": self.divides_evenly,
         }
+        if self.scope is not None:
+            out["scope"] = self.scope
+        return out
 
     def select(self, sdfg, state, sites):
         hits = [
-            s for s in sites if set(self.tile_sizes) <= set(s.params)
+            s
+            for s in sites
+            if set(self.tile_sizes) <= set(s.params)
+            and (self.scope is None or s.scope == self.scope)
         ]
-        site = self._unique(hits, "to tile")
+        site = self._unique(hits, "to tile", state, sites)
         tx = MapTiling(
             site.nodes[0], self.tile_sizes, divides_evenly=self.divides_evenly
         )

@@ -104,6 +104,7 @@ def measure_movement(
     hooks = list(hooks)
     volumes: Dict[str, Expr] = {}
     for st in sdfg.states:
+        chains: Dict[Tasklet, list] = {}
         for u, v, d in st.edges():
             mem: Optional[Memlet] = d.get("memlet")
             if mem is None:
@@ -114,7 +115,9 @@ def measure_movement(
                 node = v
             else:
                 continue
-            chain = st.scope_chain(node)
+            if node not in chains:
+                chains[node] = st.scope_chain(node)
+            chain = chains[node]
             desc = sdfg.arrays[mem.data]
             if chain:
                 prop = propagate_through_maps(
@@ -195,11 +198,29 @@ class PipelineReport:
             self.stages[-1].total_bytes, 1
         )
 
+    def reduction_vs_previous(self, index: int) -> float:
+        """Bytes-moved ratio of stage ``index - 1`` over stage ``index``
+        (1.0 for the initial stage: nothing precedes it)."""
+        if index == 0:
+            return 1.0
+        prev = self.stages[index - 1].total_bytes
+        return prev / max(self.stages[index].total_bytes, 1)
+
     def to_dict(self) -> Dict[str, Any]:
+        stages = []
+        for i, s in enumerate(self.stages):
+            d = s.to_dict()
+            # Derived per-stage fields (recomputed by from_dict round
+            # trips): the position in the pipeline — stage order is
+            # meaningful and must survive serialization consumers that
+            # re-sort — and the reduction relative to the previous stage.
+            d["index"] = i
+            d["reduction_vs_previous"] = self.reduction_vs_previous(i)
+            stages.append(d)
         return {
             "pipeline": self.pipeline,
             "dims": dict(self.dims),
-            "stages": [s.to_dict() for s in self.stages],
+            "stages": stages,
             "total_reduction": self.total_reduction,
         }
 
@@ -221,10 +242,11 @@ class PipelineReport:
     def describe(self) -> str:
         lines = [f"pipeline[{self.pipeline}] modeled data movement:"]
         first = self.stages[0].total_bytes
-        for s in self.stages:
+        for i, s in enumerate(self.stages):
             lines.append(
-                f"  {s.name:8s} {format_bytes(s.total_bytes):>12s} moved "
-                f"({first / max(s.total_bytes, 1):6.1f}x less), "
+                f"  {i:2d} {s.name:8s} {format_bytes(s.total_bytes):>12s} "
+                f"moved ({first / max(s.total_bytes, 1):6.1f}x less, "
+                f"{self.reduction_vs_previous(i):6.1f}x vs prev), "
                 f"{format_bytes(s.transient_bytes):>12s} scratch  "
                 f"{s.description}"
             )

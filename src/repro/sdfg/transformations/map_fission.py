@@ -49,12 +49,16 @@ class MapFission(Transformation):
     # -- pattern ------------------------------------------------------------
     @classmethod
     def match(cls, sdfg: SDFG, state: SDFGState) -> List[Site]:
-        """Fissionable scopes: >= 2 tasklets, no nested maps, transient
-        intermediates only.  ``arrays`` lists the intermediates that will
-        be expanded into tensors."""
+        """Fissionable scopes: top-level, >= 2 tasklets, no nested maps,
+        transient intermediates only.  ``arrays`` lists the intermediates
+        that will be expanded into tensors.  Nested scopes are excluded:
+        the rewrite rebuilds the split maps at state top level, which
+        would hoist the body out of any enclosing map's bindings."""
         sites: List[Site] = []
         for entry in state.graph.nodes:
             if not isinstance(entry, MapEntry):
+                continue
+            if state.scope_chain(entry):
                 continue
             children = state.scope_children(entry)
             if any(isinstance(n, (MapEntry, MapExit)) for n in children):
@@ -80,6 +84,11 @@ class MapFission(Transformation):
     def check(self, sdfg: SDFG, state: SDFGState) -> None:
         if self.map_entry not in state.graph.nodes:
             raise TransformationError("map entry not in state")
+        if state.scope_chain(self.map_entry):
+            raise TransformationError(
+                "fission of nested scopes not supported: the split maps "
+                "are rebuilt at state top level"
+            )
         children = state.scope_children(self.map_entry)
         for n in children:
             if isinstance(n, (MapEntry, MapExit)):

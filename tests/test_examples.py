@@ -39,6 +39,7 @@ def test_examples_present():
         "sdfg_transformations.py",
         "distributed_runtime.py",
         "scheduler_service.py",
+        "autotune_recipe.py",
     } <= names
 
 
@@ -71,6 +72,15 @@ def test_distributed_runtime_example():
     assert "runtime: P=4 ranks" in out
     assert "bytes==model" in out
     assert "distributed runtime sane" in out
+
+
+def test_autotune_recipe_example():
+    out = _run("autotune_recipe.py")
+    # The search must rediscover at least the hand recipe's reduction
+    # and every winning stage must carry an exact flops-model agreement.
+    assert "autotune[greedy]" in out
+    assert "x less movement" in out
+    assert "worst |measured/modeled - 1| = 0.0e+00" in out
 
 
 def test_scheduler_service_example():

@@ -304,10 +304,22 @@ class TestMovement:
         assert back.stage("fig12s").transient_bytes == report.stage(
             "fig12s"
         ).transient_bytes
+        # Derived per-stage fields are serialized and survive the trip.
+        stages = back.to_dict()["stages"]
+        assert [s["index"] for s in stages] == list(range(len(stages)))
+        assert stages[0]["reduction_vs_previous"] == 1.0
+        for i, s in enumerate(stages[1:], start=1):
+            assert s["reduction_vs_previous"] == pytest.approx(
+                report.reduction_vs_previous(i)
+            )
+        # Fig. 11c is the big per-stage win of the recipe.
+        by_name = {s["name"]: s for s in stages}
+        assert by_name["fig11c"]["reduction_vs_previous"] > 10
 
     def test_report_describe_mentions_stages(self, report):
         text = report.describe()
         assert "fig8" in text and "fig12s" in text and "x less" in text
+        assert "x vs prev" in text
 
 
 # -- semantics preservation on random dims (hypothesis) ---------------------------
