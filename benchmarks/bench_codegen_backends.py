@@ -50,7 +50,7 @@ def _time(fn, *args, repeat=3):
     return out, best
 
 
-def test_backend_equivalence_and_speedup():
+def test_backend_equivalence_and_speedup(machine_info):
     """Every stage agrees across backends; generated code is >= 50x
     faster than interpretation over the pipeline (full mode only)."""
     interp = get_backend("interpreter")
@@ -107,6 +107,7 @@ def test_backend_equivalence_and_speedup():
         "medium_interpreter_seconds_estimated": interp_estimate,
     }
     if not FAST:
+        record = {"machine": machine_info, **record}
         _OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     report("\nSDFG execution backends (interpreter vs generated numpy):")

@@ -86,9 +86,10 @@ def run_engine_comparison() -> dict:
     }
 
 
-def test_engine_backends(benchmark):
+def test_engine_backends(benchmark, machine_info):
     record = benchmark.pedantic(run_engine_comparison, rounds=1, iterations=1)
     if not FAST:
+        record = {"machine": machine_info, **record}
         _OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     report(

@@ -24,12 +24,11 @@ committed ``BENCH_rgf.json`` record untouched.
 
 import json
 import os
-import platform
-import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
 
 from repro.analysis import render_table
 from repro.analysis.report import report
@@ -67,24 +66,6 @@ B_GRID = (
     if FAST
     else dict(NE=16, Nkz=2, Nqz=1, Nw=2, max_iterations=5)
 )
-
-
-def _machine_info() -> dict:
-    """Host record so BENCH_rgf.json numbers are comparable over time."""
-    info = {
-        "platform": platform.platform(),
-        "processor": platform.processor() or None,
-        "cpu_count": os.cpu_count(),
-        "python": sys.version.split()[0],
-        "numpy": np.__version__,
-    }
-    try:
-        cfg = np.show_config(mode="dicts")
-        blas = cfg.get("Build Dependencies", {}).get("blas", {})
-        info["blas"] = {k: blas.get(k) for k in ("name", "version")}
-    except (TypeError, AttributeError, KeyError):  # older numpy layouts
-        info["blas"] = None
-    return info
 
 
 def _device_operands(batch, bnum, n, seed=0):
@@ -179,10 +160,10 @@ def run_scba_kernels() -> dict:
     }
 
 
-def test_rgf_kernels(benchmark):
+def test_rgf_kernels(benchmark, machine_info):
     def run():
         return {
-            "machine": _machine_info(),
+            "machine": machine_info,
             "kernels": list(available_kernels()),
             "table6_in_solver": run_table6_in_solver(),
             "scba_end_to_end": run_scba_kernels(),

@@ -163,9 +163,10 @@ def run_runtime_scaling() -> dict:
     }
 
 
-def test_runtime_scaling(benchmark):
+def test_runtime_scaling(benchmark, machine_info):
     record = benchmark.pedantic(run_runtime_scaling, rounds=1, iterations=1)
     if not FAST:
+        record = {"machine": machine_info, **record}
         _OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     for panel in ("strong", "weak"):

@@ -117,11 +117,12 @@ def run_throughput_comparison() -> dict:
     }
 
 
-def test_service_throughput(benchmark):
+def test_service_throughput(benchmark, machine_info):
     record = benchmark.pedantic(
         run_throughput_comparison, rounds=1, iterations=1
     )
     if not FAST:
+        record = {"machine": machine_info, **record}
         _OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     rows = [

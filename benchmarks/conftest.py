@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import platform
+import sys
+
 import numpy as np
 import pytest
 
@@ -13,6 +17,34 @@ from repro.negf import (
     build_hamiltonian_model,
     preprocess_phonon_green,
 )
+
+
+def _collect_machine_info() -> dict:
+    info = {
+        "platform": platform.platform(),
+        "processor": platform.processor() or None,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }
+    try:
+        cfg = np.show_config(mode="dicts")
+        blas = cfg.get("Build Dependencies", {}).get("blas", {})
+        info["blas"] = {k: blas.get(k) for k in ("name", "version")}
+    except (TypeError, AttributeError, KeyError):  # older numpy layouts
+        info["blas"] = None
+    return info
+
+
+@pytest.fixture(scope="session")
+def machine_info() -> dict:
+    """Host record stamped into every ``BENCH_*.json`` so numbers stay
+    comparable over time (shared by all BENCH-writing benchmarks).
+
+    A fixture rather than an importable helper: fixture lookup is
+    conftest-directory-scoped, so it stays unambiguous when ``tests/``
+    and ``benchmarks/`` are collected in one pytest invocation."""
+    return _collect_machine_info()
 
 
 @pytest.fixture(scope="session")

@@ -7,12 +7,12 @@ Paper values are embedded for side-by-side comparison.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..config import PAPER_STRUCTURE_10240, SimulationParameters
+from ..telemetry.timing import timeit
 from ..model import (
     PIZ_DAINT,
     SUMMIT,
@@ -169,22 +169,26 @@ def table7_rows(
 
     # GF phase (shared by all variants; the paper's GF column varies only
     # mildly across implementations).
-    t0 = time.perf_counter()
-    Gl, Gg, _, _ = sim.solve_electrons(None, None, None)
-    Dl, Dg = sim.solve_phonons(None, None)
-    gf_time = time.perf_counter() - t0
+    def _gf_phase():
+        Gl, Gg, _, _ = sim.solve_electrons(None, None, None)
+        Dl, Dg = sim.solve_phonons(None, None)
+        return Gl, Dl
+
+    gf = timeit(_gf_phase, repeats=1)
+    Gl, Dl = gf.result
 
     rev = dev.reverse_neighbor()
     Dcl = preprocess_phonon_green(Dl, dev.neighbors, rev)
     rows = []
     for variant in ("reference", "omen", "dace"):
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            sigma_sse(Gl, model.dH, Dcl, dev.neighbors, +1, variant)
-            best = min(best, time.perf_counter() - t0)
+        timing = timeit(
+            lambda: sigma_sse(Gl, model.dH, Dcl, dev.neighbors, +1, variant),
+            repeats=max(repeats, 1),
+        )
         label = {"reference": "Python", "omen": "OMEN", "dace": "DaCe"}[variant]
-        rows.append(dict(variant=label, gf_time=gf_time, sse_time=best))
+        rows.append(
+            dict(variant=label, gf_time=gf.best, sse_time=timing.best)
+        )
     return rows
 
 

@@ -22,7 +22,6 @@ objects with JSON export built on :meth:`repro.negf.SCBAResult.to_dict`.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -30,6 +29,10 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..negf.scba import SCBAResult, SCBASettings, SCBASimulation
+from ..telemetry import metrics as _metrics
+from ..telemetry.spans import mode as _mode
+from ..telemetry.spans import metrics_enabled, spans_enabled, trace
+from ..telemetry.timing import timeit
 from .plan import Plan
 from .workload import Workload
 
@@ -59,6 +62,10 @@ class RunResult:
     comm: Optional[Dict[str, Any]] = None
     #: RGF kernel the point's solves ran through (None for legacy results)
     rgf_kernel: Optional[str] = None
+    #: per-point telemetry (:func:`repro.telemetry.telemetry_snapshot`
+    #: shape: {"mode", "trace", "metrics"}); None unless REPRO_TELEMETRY
+    #: was enabled for the run
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def total_current_left(self) -> float:
@@ -74,6 +81,7 @@ class RunResult:
         elapsed: float, keep_arrays: bool = True,
         comm: Optional[Dict[str, Any]] = None,
         rgf_kernel: Optional[str] = None,
+        telemetry: Optional[Dict[str, Any]] = None,
     ) -> "RunResult":
         return cls(
             index=index,
@@ -87,6 +95,7 @@ class RunResult:
             result=res if keep_arrays else None,
             comm=comm,
             rgf_kernel=rgf_kernel,
+            telemetry=telemetry,
         )
 
     def to_dict(self, include_arrays: bool = False) -> Dict[str, Any]:
@@ -104,6 +113,8 @@ class RunResult:
             out["rgf_kernel"] = self.rgf_kernel
         if self.comm is not None:
             out["comm"] = {k: dict(v) for k, v in self.comm.items()}
+        if self.telemetry is not None:
+            out["telemetry"] = dict(self.telemetry)
         if include_arrays and self.result is not None:
             out["result"] = self.result.to_dict()
         return out
@@ -123,6 +134,7 @@ class RunResult:
             result=SCBAResult.from_dict(res) if res is not None else None,
             comm=d.get("comm"),
             rgf_kernel=d.get("rgf_kernel"),
+            telemetry=d.get("telemetry"),
         )
 
 
@@ -142,6 +154,10 @@ class SweepResult:
     #: so the savings accounting serializes with the result; None for
     #: plain :meth:`Session.run` results
     service: Optional[Dict[str, Any]] = None
+    #: sweep-wide telemetry snapshot ({"mode", "trace", "metrics"},
+    #: :func:`repro.telemetry.telemetry_snapshot`) taken at the end of
+    #: :meth:`Session.run`; None when REPRO_TELEMETRY is off
+    telemetry: Optional[Dict[str, Any]] = None
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -190,6 +206,8 @@ class SweepResult:
         }
         if self.service is not None:
             out["service"] = dict(self.service)
+        if self.telemetry is not None:
+            out["telemetry"] = dict(self.telemetry)
         return out
 
     def to_json(self, include_arrays: bool = False, **kwargs) -> str:
@@ -201,12 +219,14 @@ class SweepResult:
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "SweepResult":
         service = d.get("service")
+        telemetry = d.get("telemetry")
         return cls(
             workload=dict(d["workload"]),
             runs=[RunResult.from_dict(r) for r in d["runs"]],
             reuse=dict(d.get("reuse", {})),
             engine=d.get("engine", ""),
             service=dict(service) if service is not None else None,
+            telemetry=dict(telemetry) if telemetry is not None else None,
         )
 
     @classmethod
@@ -295,18 +315,26 @@ class Session:
         sweep-invariant state.
         """
         runs: List[RunResult] = []
-        for gi, group in enumerate(self.plan.groups):
-            for j in range(len(group.points)):
-                rr = self._execute_point(gi, j, keep_arrays)
-                runs.append(rr)
-                if progress is not None:
-                    progress(rr)
+        n_points = sum(len(g.points) for g in self.plan.groups)
+        with trace("session.run", points=n_points, engine=self.plan.engine):
+            for gi, group in enumerate(self.plan.groups):
+                for j in range(len(group.points)):
+                    rr = self._execute_point(gi, j, keep_arrays)
+                    runs.append(rr)
+                    if progress is not None:
+                        progress(rr)
         runs.sort(key=lambda r: r.index)
+        telemetry = None
+        if spans_enabled():
+            from ..telemetry.export import telemetry_snapshot
+
+            telemetry = telemetry_snapshot()
         return SweepResult(
             workload=self.plan.workload.to_dict(),
             runs=runs,
             reuse=self.reuse_counters(),
             engine=self.plan.engine,
+            telemetry=telemetry,
         )
 
     def run_point(self, index: int, keep_arrays: bool = True) -> RunResult:
@@ -326,17 +354,35 @@ class Session:
         sim = self.simulation(group_index)
         for k, v in group.point_settings(j).items():
             setattr(sim.s, k, v)
-        t0 = time.perf_counter()
-        res = sim.run(ballistic=self.plan.ballistic)
-        elapsed = time.perf_counter() - t0
+        telemetry = None
+        with trace("session.point", index=index, **coords):
+            if metrics_enabled():
+                before = _metrics.get_registry().snapshot()
+                timing = timeit(
+                    lambda: sim.run(ballistic=self.plan.ballistic), repeats=1
+                )
+                after = _metrics.get_registry().snapshot()
+                telemetry = {
+                    "mode": _mode(),
+                    "metrics": {
+                        k: after[k] - before.get(k, 0)
+                        for k in after
+                        if after[k] != before.get(k, 0)
+                    },
+                }
+            else:
+                timing = timeit(
+                    lambda: sim.run(ballistic=self.plan.ballistic), repeats=1
+                )
+        res = timing.result
         comm = None
         if sim.last_comm:
             comm = {
                 phase: stats.to_dict() for phase, stats in sim.last_comm.items()
             }
         return RunResult.from_scba(
-            index, coords, res, elapsed, keep_arrays=keep_arrays, comm=comm,
-            rgf_kernel=sim.s.rgf_kernel,
+            index, coords, res, timing.best, keep_arrays=keep_arrays,
+            comm=comm, rgf_kernel=sim.s.rgf_kernel, telemetry=telemetry,
         )
 
     # -- verification --------------------------------------------------------------

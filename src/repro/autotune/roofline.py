@@ -25,7 +25,6 @@ With ``peak_flops``/``mem_bandwidth`` a classical roofline bound
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -34,6 +33,7 @@ import numpy as np
 from ..model.performance import stage_flops
 from ..sdfg import Pipeline
 from ..sdfg.pipeline import format_bytes
+from ..telemetry.timing import timeit
 
 __all__ = ["RooflineStage", "RooflineReport", "roofline_report"]
 
@@ -170,12 +170,11 @@ def roofline_report(
     stages = []
     for i, stage in enumerate(compiled.stages):
         runner = compiled.runners[stage.name]
-        best = float("inf")
-        executed = None
-        for _ in range(max(repeats, 1)):
-            t0 = time.perf_counter()
-            _, executed = runner(dict(measure_dims), arrays, tables)
-            best = min(best, time.perf_counter() - t0)
+        timing = timeit(
+            lambda: runner(dict(measure_dims), arrays, tables),
+            repeats=max(repeats, 1),
+        )
+        _, executed = timing.result
         modeled_bytes = movement.stages[i].total_bytes
         modeled_flops = stage_flops(stage.sdfg, model_dims)
         roofline_seconds = None
@@ -192,7 +191,7 @@ def roofline_report(
                 description=stage.description,
                 modeled_bytes=modeled_bytes,
                 modeled_flops=modeled_flops,
-                measured_seconds=best,
+                measured_seconds=timing.best,
                 measured_flops=int(np.rint(executed.report.flops)),
                 modeled_measure_flops=stage_flops(
                     stage.sdfg, measure_dims

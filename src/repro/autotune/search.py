@@ -46,6 +46,8 @@ from ..config import (
 )
 from ..sdfg import Pipeline, PipelineReport
 from ..sdfg.pipeline import _transient_bytes, measure_movement
+from ..telemetry import metrics as _metrics
+from ..telemetry.spans import trace
 from .space import (
     KIND_PRIORITY,
     AutotuneError,
@@ -226,11 +228,16 @@ class _Search:
     def child(self, node: _Node, move: Move) -> Optional[_Node]:
         stage = f"t{node.depth:02d}_{move.kind}"
         try:
-            sdfg, p = apply_move(node.sdfg, move, stage, self.library)
-            score = _score(sdfg, self.dims, self.hooks)
+            with trace(
+                "autotune.candidate", stage=stage, kind=move.kind,
+                depth=node.depth,
+            ):
+                sdfg, p = apply_move(node.sdfg, move, stage, self.library)
+                score = _score(sdfg, self.dims, self.hooks)
         except (ValueError, KeyError):
             return None  # not legal from here: not a child
         self.evaluations += 1
+        _metrics.add("autotune.candidates")
         sig = state_signature(sdfg)
         step = {
             "index": node.depth,

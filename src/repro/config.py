@@ -20,6 +20,8 @@ __all__ = [
     "SSE_SCHEDULES",
     "SERVICE_MODES",
     "AUTOTUNE_STRATEGIES",
+    "TELEMETRY_MODES",
+    "default_telemetry_mode",
     "default_autotune_strategy",
     "default_autotune_beam_width",
     "default_autotune_max_moves",
@@ -193,6 +195,34 @@ def default_service_cache_entries() -> int:
             "(0 disables result caching)"
         )
     return entries
+
+
+#: Observability modes of the telemetry subsystem (``repro.telemetry``):
+#: ``off`` disables every probe (the default; near-zero overhead),
+#: ``spans`` records the hierarchical span tree only, ``full``
+#: additionally accumulates the process-wide metrics registry (bytes,
+#: flops, cache counters) that the drift reports reconcile against the
+#: analytic models.
+TELEMETRY_MODES: Tuple[str, ...] = ("off", "spans", "full")
+
+
+def default_telemetry_mode() -> str:
+    """Telemetry mode used when :func:`repro.telemetry.configure` is not
+    called explicitly.
+
+    Overridable through the ``REPRO_TELEMETRY`` environment variable (an
+    explicitly set but unknown value raises, mirroring ``REPRO_ENGINE``);
+    the built-in default is ``off``.
+    """
+    env = os.environ.get("REPRO_TELEMETRY", "").strip().lower()
+    if not env:
+        return "off"
+    if env not in TELEMETRY_MODES:
+        raise ValueError(
+            f"REPRO_TELEMETRY={env!r} is not a valid telemetry mode; "
+            f"expected one of {TELEMETRY_MODES}"
+        )
+    return env
 
 
 #: Search strategies of the transformation autotuner (``repro.autotune``):

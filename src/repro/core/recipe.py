@@ -510,13 +510,29 @@ def compiled_sse_kernel(backend: Optional[str] = None):
     original ``[kz, E, a]`` layout; cached per resolved backend name.
     """
     from ..sdfg.backends import default_backend, get_backend
+    from ..telemetry import metrics as _metrics
+    from ..telemetry.spans import metrics_enabled, trace
 
     name = backend or default_backend()
     if name not in _SSE_KERNELS:
-        runner = get_backend(name).compile_stage(SSE_PIPELINE.stages()[-1])
-        _SSE_KERNELS[name] = lambda dims, arrays, tables=None: runner(
-            dims, arrays, tables
-        )[0]
+        stage = SSE_PIPELINE.stages()[-1]
+        runner = get_backend(name).compile_stage(stage)
+
+        def kernel(dims, arrays, tables=None, _runner=runner, _name=name):
+            with trace("backend.execute", backend=_name, stage=stage.name):
+                result, executed = _runner(dims, arrays, tables)
+            if metrics_enabled():
+                report = executed.report
+                _metrics.add("backend.flops", int(report.flops))
+                _metrics.add(
+                    "backend.element_reads", int(report.element_reads)
+                )
+                _metrics.add(
+                    "backend.element_writes", int(report.element_writes)
+                )
+            return result
+
+        _SSE_KERNELS[name] = kernel
     return _SSE_KERNELS[name]
 
 

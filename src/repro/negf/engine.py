@@ -59,6 +59,8 @@ import numpy as np
 from ..config import EXECUTION_BACKENDS
 from ..parallel.decomposition import OmenDecomposition, partition_spectral_grid
 from ..parallel.simmpi import SimComm
+from ..telemetry import metrics as _metrics
+from ..telemetry.spans import trace
 from .boundary import lead_self_energy, lead_self_energy_batched
 from .kernels import get_kernel
 from .rgf import _H, rgf_solve, rgf_solve_batched
@@ -205,17 +207,20 @@ class BoundaryCache:
         key = (ik, iE)
         if self.enabled and key in self._el:
             self.el_hits += 1
+            _metrics.add("boundary.el_hits")
             return self._el[key]
         s = self.s
-        sig_L = lead_self_energy(
-            E, H.diag[0], H.upper[0], "left", S.diag[0], S.upper[0],
-            eta=s.eta, method=s.boundary_method,
-        )
-        sig_R = lead_self_energy(
-            E, H.diag[-1], H.upper[-1], "right", S.diag[-1], S.upper[-1],
-            eta=s.eta, method=s.boundary_method,
-        )
+        with trace("boundary.solve", kind="electron", ik=int(ik), points=1):
+            sig_L = lead_self_energy(
+                E, H.diag[0], H.upper[0], "left", S.diag[0], S.upper[0],
+                eta=s.eta, method=s.boundary_method,
+            )
+            sig_R = lead_self_energy(
+                E, H.diag[-1], H.upper[-1], "right", S.diag[-1], S.upper[-1],
+                eta=s.eta, method=s.boundary_method,
+            )
         self.el_solves += 2
+        _metrics.add("boundary.el_solves", 2)
         if self.enabled:
             self._el[key] = (sig_L, sig_R)
         return sig_L, sig_R
@@ -240,18 +245,27 @@ class BoundaryCache:
             if not (self.enabled and (ik, int(iE)) in self._el)
         ]
         self.el_hits += len(e_idx) - len(missing)
+        _metrics.add("boundary.el_hits", len(e_idx) - len(missing))
         if missing:
-            H, S = assemble()
-            z = E[missing]
-            sl = lead_self_energy_batched(
-                z, H.diag[0], H.upper[0], "left", S.diag[0], S.upper[0],
-                eta=s.eta, method=s.boundary_method, kernel=self.kernel,
-            )
-            sr = lead_self_energy_batched(
-                z, H.diag[-1], H.upper[-1], "right", S.diag[-1], S.upper[-1],
-                eta=s.eta, method=s.boundary_method, kernel=self.kernel,
-            )
+            with trace(
+                "boundary.solve",
+                kind="electron",
+                ik=int(ik),
+                points=len(missing),
+            ):
+                H, S = assemble()
+                z = E[missing]
+                sl = lead_self_energy_batched(
+                    z, H.diag[0], H.upper[0], "left", S.diag[0], S.upper[0],
+                    eta=s.eta, method=s.boundary_method, kernel=self.kernel,
+                )
+                sr = lead_self_energy_batched(
+                    z, H.diag[-1], H.upper[-1], "right",
+                    S.diag[-1], S.upper[-1],
+                    eta=s.eta, method=s.boundary_method, kernel=self.kernel,
+                )
             self.el_solves += 2 * len(missing)
+            _metrics.add("boundary.el_solves", 2 * len(missing))
             if not self.enabled:
                 return sl, sr
             for j, m in enumerate(missing):
@@ -273,18 +287,21 @@ class BoundaryCache:
         key = (iq, iw)
         if self.enabled and key in self._ph:
             self.ph_hits += 1
+            _metrics.add("boundary.ph_hits")
             return self._ph[key]
         s = self.s
         z, eta_eff = self._phonon_z_eta(w, s.eta)
-        pi_L = lead_self_energy(
-            float(z), Phi.diag[0], Phi.upper[0], "left",
-            eta=float(eta_eff), method=s.boundary_method,
-        )
-        pi_R = lead_self_energy(
-            float(z), Phi.diag[-1], Phi.upper[-1], "right",
-            eta=float(eta_eff), method=s.boundary_method,
-        )
+        with trace("boundary.solve", kind="phonon", iq=int(iq), points=1):
+            pi_L = lead_self_energy(
+                float(z), Phi.diag[0], Phi.upper[0], "left",
+                eta=float(eta_eff), method=s.boundary_method,
+            )
+            pi_R = lead_self_energy(
+                float(z), Phi.diag[-1], Phi.upper[-1], "right",
+                eta=float(eta_eff), method=s.boundary_method,
+            )
         self.ph_solves += 2
+        _metrics.add("boundary.ph_solves", 2)
         if self.enabled:
             self._ph[key] = (pi_L, pi_R)
         return pi_L, pi_R
@@ -301,18 +318,26 @@ class BoundaryCache:
             if not (self.enabled and (iq, int(iw)) in self._ph)
         ]
         self.ph_hits += len(w_idx) - len(missing)
+        _metrics.add("boundary.ph_hits", len(w_idx) - len(missing))
         if missing:
-            Phi = assemble()
-            z, eta_eff = self._phonon_z_eta(w[missing], s.eta)
-            pl = lead_self_energy_batched(
-                z, Phi.diag[0], Phi.upper[0], "left",
-                eta=eta_eff, method=s.boundary_method, kernel=self.kernel,
-            )
-            pr = lead_self_energy_batched(
-                z, Phi.diag[-1], Phi.upper[-1], "right",
-                eta=eta_eff, method=s.boundary_method, kernel=self.kernel,
-            )
+            with trace(
+                "boundary.solve",
+                kind="phonon",
+                iq=int(iq),
+                points=len(missing),
+            ):
+                Phi = assemble()
+                z, eta_eff = self._phonon_z_eta(w[missing], s.eta)
+                pl = lead_self_energy_batched(
+                    z, Phi.diag[0], Phi.upper[0], "left",
+                    eta=eta_eff, method=s.boundary_method, kernel=self.kernel,
+                )
+                pr = lead_self_energy_batched(
+                    z, Phi.diag[-1], Phi.upper[-1], "right",
+                    eta=eta_eff, method=s.boundary_method, kernel=self.kernel,
+                )
             self.ph_solves += 2 * len(missing)
+            _metrics.add("boundary.ph_solves", 2 * len(missing))
             if not self.enabled:
                 return pl, pr
             for j, m in enumerate(missing):
@@ -540,9 +565,10 @@ class BatchedEngine(GridEngine):
         for ik in range(len(g.kz_grid)):
             sr = None if sigma_r is None else sigma_r[ik]
             sl = None if sigma_l is None else sigma_l[ik]
-            Gl[ik], Gg[ik], I_L[ik], I_R[ik] = self.electron_row(
-                ik, e_idx, sr, sl
-            )
+            with trace("engine.electron_row", ik=ik, batch=s.NE):
+                Gl[ik], Gg[ik], I_L[ik], I_R[ik] = self.electron_row(
+                    ik, e_idx, sr, sl
+                )
         return Gl, Gg, I_L, I_R
 
     def electron_row(self, ik, e_idx, sigma_r_row, sigma_l_row,
@@ -557,6 +583,8 @@ class BatchedEngine(GridEngine):
         """
         g, s = self.grid, self.grid.s
         e_idx = np.asarray(e_idx)
+        _metrics.add("engine.electron_rows")
+        _metrics.add("engine.electron_points", len(e_idx))
         E = g.energies[e_idx]
         H, S = g.electron_operators(ik)
 
@@ -587,7 +615,8 @@ class BatchedEngine(GridEngine):
                 diag[blk][:, orb, orb] -= sigma_r_row[:, a]
                 sless[blk][:, orb, orb] += sigma_l_row[:, a]
 
-        res = rgf_solve_batched(diag, upper, sless, kernel=self.kernel)
+        with trace("rgf.batch", kind="electron", ik=int(ik), batch=len(e_idx)):
+            res = rgf_solve_batched(diag, upper, sless, kernel=self.kernel)
 
         nE = len(e_idx)
         Gl_row = np.zeros((nE, g.NA, g.Norb, g.Norb), dtype=np.complex128)
@@ -614,7 +643,8 @@ class BatchedEngine(GridEngine):
         for iq in range(len(g.qz_grid)):
             pr = None if pi_r is None else pi_r[iq]
             pl = None if pi_l is None else pi_l[iq]
-            Dl[iq], Dg[iq] = self.phonon_row(iq, w_idx, pr, pl)
+            with trace("engine.phonon_row", iq=iq, batch=s.Nw):
+                Dl[iq], Dg[iq] = self.phonon_row(iq, w_idx, pr, pl)
         return Dl, Dg
 
     def phonon_row(self, iq, w_idx, pi_r_row, pi_l_row,
@@ -627,6 +657,8 @@ class BatchedEngine(GridEngine):
         """
         g, s = self.grid, self.grid.s
         w_idx = np.asarray(w_idx)
+        _metrics.add("engine.phonon_rows")
+        _metrics.add("engine.phonon_points", len(w_idx))
         w = g.omegas[w_idx]
         Phi = g.phonon_operators(iq)
         dev = g.model.structure
@@ -662,7 +694,8 @@ class BatchedEngine(GridEngine):
                     diag[blk][:, vib, vib_c] -= pi_r_row[:, a, 1 + b]
                     pless[blk][:, vib, vib_c] += pi_l_row[:, a, 1 + b]
 
-        res = rgf_solve_batched(diag, upper, pless, kernel=self.kernel)
+        with trace("rgf.batch", kind="phonon", iq=int(iq), batch=len(w_idx)):
+            res = rgf_solve_batched(diag, upper, pless, kernel=self.kernel)
 
         nW = len(w_idx)
         Dl_row = np.zeros(

@@ -40,6 +40,8 @@ from typing import Any, Dict, List, Literal, Optional
 import numpy as np
 
 from ..config import default_engine, default_rgf_kernel, default_runtime
+from ..telemetry import metrics as _metrics
+from ..telemetry.spans import trace
 from .engine import SpectralGrid, bose, fermi, make_engine
 from .hamiltonian import HamiltonianModel
 from .sse import pi_sse, preprocess_phonon_green, retarded_from_lesser_greater, sigma_sse
@@ -437,31 +439,34 @@ class SCBASimulation:
         max_iter = 1 if ballistic else s.max_iterations
         for it in range(max_iter):
             iterations = it + 1
-            Gl, Gg, I_L, I_R = self.solve_electrons(Sr, Sl, Sg)
-            Dl, Dg = self.solve_phonons(Pr, Pl)
-            if Gl_prev is not None:
-                num = np.linalg.norm(Gl - Gl_prev)
-                den = max(np.linalg.norm(Gl), 1e-300)
-                history.append(num / den)
-                if history[-1] < s.tolerance:
+            _metrics.add("scba.iterations")
+            with trace("scba.iteration", iteration=it):
+                Gl, Gg, I_L, I_R = self.solve_electrons(Sr, Sl, Sg)
+                Dl, Dg = self.solve_phonons(Pr, Pl)
+                if Gl_prev is not None:
+                    num = np.linalg.norm(Gl - Gl_prev)
+                    den = max(np.linalg.norm(Gl), 1e-300)
+                    history.append(num / den)
+                    if history[-1] < s.tolerance:
+                        converged = True
+                        Gl_prev = Gl
+                        break
+                Gl_prev = Gl
+                if ballistic:
                     converged = True
-                    Gl_prev = Gl
                     break
-            Gl_prev = Gl
-            if ballistic:
-                converged = True
-                break
 
-            Sl_new, Sg_new, Pl_new, Pg_new = self.scattering_self_energies(
-                Gl, Gg, Dl, Dg
-            )
-            mix = s.mixing
-            Sl = Sl_new if Sl is None else (1 - mix) * Sl + mix * Sl_new
-            Sg = Sg_new if Sg is None else (1 - mix) * Sg + mix * Sg_new
-            Pl = Pl_new if Pl is None else (1 - mix) * Pl + mix * Pl_new
-            Pg = Pg_new if Pg is None else (1 - mix) * Pg + mix * Pg_new
-            Sr = retarded_from_lesser_greater(Sl, Sg)
-            Pr = retarded_from_lesser_greater(Pl, Pg)
+                with trace("scba.sse", iteration=it):
+                    Sl_new, Sg_new, Pl_new, Pg_new = (
+                        self.scattering_self_energies(Gl, Gg, Dl, Dg)
+                    )
+                mix = s.mixing
+                Sl = Sl_new if Sl is None else (1 - mix) * Sl + mix * Sl_new
+                Sg = Sg_new if Sg is None else (1 - mix) * Sg + mix * Sg_new
+                Pl = Pl_new if Pl is None else (1 - mix) * Pl + mix * Pl_new
+                Pg = Pg_new if Pg is None else (1 - mix) * Pg + mix * Pg_new
+                Sr = retarded_from_lesser_greater(Sl, Sg)
+                Pr = retarded_from_lesser_greater(Pl, Pg)
 
         zero_sig = np.zeros_like(Gl)
         zero_pi = np.zeros_like(Dl)

@@ -443,6 +443,7 @@ class LocalTransport:
         ]
 
     def charge(self, src: int, dst: int, nbytes: int):
+        # one metering convention: telemetry.metrics.meter_transfer via SimComm
         self.comm.charge(src, dst, int(nbytes))
 
 

@@ -25,6 +25,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..telemetry.metrics import meter_transfer
+
 __all__ = ["CommStats", "SimComm"]
 
 
@@ -123,13 +125,13 @@ class SimComm:
 
         Public so transports that move the payloads themselves (the
         distributed runtime's sim/pipe transports) share one accounting
-        convention with the collective operations below.
+        convention with the collective operations below.  The actual
+        bookkeeping lives in the single shared helper
+        :func:`repro.telemetry.metrics.meter_transfer`, which also
+        publishes the aggregate bytes to the metrics registry under
+        ``REPRO_TELEMETRY=full``.
         """
-        if src == dst:
-            return  # local copies are free (no network)
-        self.stats.sent_bytes[src] += nbytes
-        self.stats.recv_bytes[dst] += nbytes
-        self.stats.messages[src] += 1
+        meter_transfer(self.stats, src, dst, nbytes)
 
     def reset(self):
         self.stats.sent_bytes[:] = 0

@@ -31,6 +31,8 @@ from ..negf.engine import BatchedEngine, SpectralGrid
 from ..negf.sse import preprocess_phonon_green, retarded_from_lesser_greater
 from ..parallel.decomposition import OmenDecomposition
 from ..parallel.schedules import RankSSEStore
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.spans import Tracer, scoped_span
 
 __all__ = ["RankWorker"]
 
@@ -66,6 +68,11 @@ class RankWorker(RankSSEStore):
         self.rows_by_q: Dict[int, List[int]] = {}
         for q, w in self.phonon_rows:
             self.rows_by_q.setdefault(q, []).append(w)
+        #: rank-private telemetry sinks — kept separate from the driver's
+        #: even under the in-process ``sim`` transport, drained through
+        #: :meth:`drain_telemetry` and merged rank-tagged by the runtime
+        self.tracer = Tracer()
+        self.registry = MetricsRegistry()
         self._reset_state()
 
     # -- run lifecycle ----------------------------------------------------------
@@ -100,8 +107,16 @@ class RankWorker(RankSSEStore):
 
         Returns ``(had_previous, |ΔG<|², |G<|²)`` — the rank's residual
         contributions, allreduced by the driver into the global Born
-        convergence criterion.
+        convergence criterion.  Engine/boundary telemetry recorded inside
+        lands in this rank's private tracer/registry.
         """
+        with scoped_span(
+            self.tracer, "rank.solve_gf", registry=self.registry,
+            rank=self.rank,
+        ):
+            return self._solve_gf()
+
+    def _solve_gf(self) -> Tuple[bool, float, float]:
         e_idx = np.arange(self.esl.start, self.esl.stop)
         Gl_prev = self.Gl
         Gl, Gg, I_L, I_R = self.engine.electron_row(
@@ -130,16 +145,20 @@ class RankWorker(RankSSEStore):
     # -- SSE phase ---------------------------------------------------------------
     def sse_begin(self) -> None:
         """Combine the owned phonon rows (Eq. 3) and zero the accumulators."""
-        super().sse_begin()
-        self.Dc = {}
-        for (q, w), d in self.D.items():
-            Dcl = preprocess_phonon_green(
-                d[0][None, None], self.neigh, self.rev
-            )[0, 0]
-            Dcg = preprocess_phonon_green(
-                d[1][None, None], self.neigh, self.rev
-            )[0, 0]
-            self.Dc[(q, w)] = np.stack([Dcl, Dcg])
+        with scoped_span(
+            self.tracer, "rank.sse_prepare", registry=self.registry,
+            rank=self.rank,
+        ):
+            super().sse_begin()
+            self.Dc = {}
+            for (q, w), d in self.D.items():
+                Dcl = preprocess_phonon_green(
+                    d[0][None, None], self.neigh, self.rev
+                )[0, 0]
+                Dcg = preprocess_phonon_green(
+                    d[1][None, None], self.neigh, self.rev
+                )[0, 0]
+                self.Dc[(q, w)] = np.stack([Dcl, Dcg])
 
     def finish_iteration(self) -> None:
         """Scale, mix, and close the Born feedback loop rank-locally.
@@ -207,4 +226,16 @@ class RankWorker(RankSSEStore):
             "el_hits": b.el_hits,
             "ph_solves": b.ph_solves,
             "ph_hits": b.ph_hits,
+        }
+
+    def drain_telemetry(self) -> Dict[str, object]:
+        """Pop this rank's recorded spans and metrics (picklable dicts).
+
+        Works identically over both transports: in-process ``sim`` reads
+        the sinks directly, ``pipe`` ships the dicts through the worker
+        pipe like any other method result.
+        """
+        return {
+            "spans": self.tracer.drain(),
+            "metrics": self.registry.drain(),
         }

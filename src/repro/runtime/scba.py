@@ -45,6 +45,13 @@ from ..parallel.schedules import (
     default_round_owner,
 )
 from ..parallel.simmpi import CommStats
+from ..telemetry import metrics as _metrics
+from ..telemetry.spans import (
+    get_tracer,
+    metrics_enabled,
+    spans_enabled,
+    trace,
+)
 from .rank import RankWorker
 from .transport import Transport, make_transport
 
@@ -123,6 +130,9 @@ class DistributedSCBARuntime:
         self.last_comm: Dict[str, CommStats] = {}
         #: SSE exchanges executed by the last :meth:`run`
         self.n_sse_iterations = 0
+        #: residual allreduces executed by the last :meth:`run` (the
+        #: ``n_checks`` of the drift model — equals ``len(history)``)
+        self.n_residual_checks = 0
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -194,38 +204,50 @@ class DistributedSCBARuntime:
         t.comm.reset()
         self.last_comm = {}
         self.n_sse_iterations = 0
+        self.n_residual_checks = 0
 
         history: List[float] = []
         converged = False
         iterations = 0
         max_iter = 1 if ballistic else s.max_iterations
-        for it in range(max_iter):
-            iterations = it + 1
-            parts = t.call_all("solve_gf", [()] * P)
-            if parts[0][0]:  # every rank saw a previous iteration
-                with self._meter("residual"):
-                    # allreduce of the 2-float residual contribution
-                    for r in range(1, P):
-                        t.charge(r, 0, 16)
-                    for r in range(1, P):
-                        t.charge(0, r, 16)
-                num = float(np.sqrt(sum(p[1] for p in parts)))
-                den = max(float(np.sqrt(sum(p[2] for p in parts))), 1e-300)
-                history.append(num / den)
-                if history[-1] < s.tolerance:
+        with trace(
+            "runtime.run", ranks=P, schedule=self.schedule,
+            transport=self.transport_name,
+        ):
+            for it in range(max_iter):
+                iterations = it + 1
+                with trace("runtime.solve_gf", iteration=it):
+                    parts = t.call_all("solve_gf", [()] * P)
+                if parts[0][0]:  # every rank saw a previous iteration
+                    with trace("runtime.residual_allreduce", iteration=it), \
+                            self._meter("residual"):
+                        # allreduce of the 2-float residual contribution
+                        for r in range(1, P):
+                            t.charge(r, 0, 16)
+                        for r in range(1, P):
+                            t.charge(0, r, 16)
+                    self.n_residual_checks += 1
+                    num = float(np.sqrt(sum(p[1] for p in parts)))
+                    den = max(
+                        float(np.sqrt(sum(p[2] for p in parts))), 1e-300
+                    )
+                    history.append(num / den)
+                    if history[-1] < s.tolerance:
+                        converged = True
+                        break
+                if ballistic:
                     converged = True
                     break
-            if ballistic:
-                converged = True
-                break
-            with self._meter("sse"):
-                t.call_all("sse_begin", [()] * P)
-                self.exchange.run_iteration(t)
-                t.call_all("finish_iteration", [()] * P)
-            self.n_sse_iterations += 1
+                with trace("runtime.sse_exchange", iteration=it), \
+                        self._meter("sse"):
+                    t.call_all("sse_begin", [()] * P)
+                    self.exchange.run_iteration(t)
+                    t.call_all("finish_iteration", [()] * P)
+                self.n_sse_iterations += 1
 
-        with self._meter("gather"):
-            tensors = self._gather(t)
+            with trace("runtime.gather"), self._meter("gather"):
+                tensors = self._gather(t)
+        self._drain_rank_telemetry(t)
 
         from ..negf.scba import density_observable, dissipation_observable
 
@@ -314,6 +336,25 @@ class DistributedSCBARuntime:
         )
 
     # -- accounting ---------------------------------------------------------------
+    def _drain_rank_telemetry(self, t: Transport) -> None:
+        """Ship per-rank spans/metrics back and merge them driver-side.
+
+        Spans become rank-tagged tracks of the driver's tracer (aligned
+        timelines: ``perf_counter_ns`` is process-shared CLOCK_MONOTONIC
+        on Linux); rank metrics accumulate into the global registry.
+        """
+        if not (spans_enabled() or metrics_enabled()):
+            return
+        tracer = get_tracer()
+        registry = _metrics.get_registry()
+        for r, tele in enumerate(
+            t.call_all("drain_telemetry", [()] * self.P)
+        ):
+            if tele["spans"]:
+                tracer.add_track(f"rank {r}", tele["spans"])
+            if tele["metrics"]:
+                registry.merge(tele["metrics"])
+
     def comm_stats(self) -> Dict[str, CommStats]:
         """Per-phase per-rank stats of the last run (copy-safe view)."""
         return dict(self.last_comm)

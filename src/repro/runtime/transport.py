@@ -62,7 +62,11 @@ class Transport:
         return self.comm.stats
 
     def charge(self, src: int, dst: int, nbytes: int) -> None:
-        """Meter one logical rank-to-rank transfer (self-sends free)."""
+        """Meter one logical rank-to-rank transfer (self-sends free).
+
+        Delegates to :meth:`SimComm.charge` and through it to the one
+        shared :func:`repro.telemetry.metrics.meter_transfer` helper.
+        """
         self.comm.charge(src, dst, int(nbytes))
 
     # -- lifecycle --------------------------------------------------------------

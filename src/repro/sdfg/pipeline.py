@@ -39,6 +39,7 @@ from typing import (
 
 import numpy as np
 
+from ..telemetry.spans import trace
 from .backends import StageRunner, get_backend
 from .backends.common import written_arrays as _written_arrays
 from .graph import SDFG
@@ -532,24 +533,28 @@ class Pipeline:
         snapshots you intend to modify.
         """
         be = get_backend(backend)
-        stages = self.stages()
-        runners = {s.name: be.compile_stage(s) for s in stages}
-        verification: Optional[Dict[str, float]] = None
-        if verify_dims is not None:
-            if self.make_inputs is None or self.reference is None:
-                raise ValueError(
-                    f"pipeline {self.name!r}: verification requires "
-                    "make_inputs and reference"
-                )
-            arrays, tables = self.make_inputs(dict(verify_dims), seed=seed)
-            ref = self.reference(arrays, tables)
-            verification = {
-                s.name: verify_stage(
-                    s, dict(verify_dims), arrays, tables, ref,
-                    rtol=rtol, atol=atol, runner=runners[s.name],
-                )
-                for s in stages
-            }
+        with trace(
+            "pipeline.compile", pipeline=self.name, backend=be.name,
+            verify=verify_dims is not None,
+        ):
+            stages = self.stages()
+            runners = {s.name: be.compile_stage(s) for s in stages}
+            verification: Optional[Dict[str, float]] = None
+            if verify_dims is not None:
+                if self.make_inputs is None or self.reference is None:
+                    raise ValueError(
+                        f"pipeline {self.name!r}: verification requires "
+                        "make_inputs and reference"
+                    )
+                arrays, tables = self.make_inputs(dict(verify_dims), seed=seed)
+                ref = self.reference(arrays, tables)
+                verification = {}
+                for s in stages:
+                    with trace("pipeline.verify_stage", stage=s.name):
+                        verification[s.name] = verify_stage(
+                            s, dict(verify_dims), arrays, tables, ref,
+                            rtol=rtol, atol=atol, runner=runners[s.name],
+                        )
         return CompiledPipeline(self, stages, verification, be.name, runners)
 
 

@@ -29,7 +29,6 @@ cost model the packer uses to place jobs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -37,6 +36,8 @@ from ..api.plan import Plan, PlanGroup
 from ..api.session import RunResult, SweepResult
 from ..api.workload import DeviceSpec
 from ..negf.scba import SCBASettings, SCBASimulation
+from ..telemetry.spans import trace
+from ..telemetry.timing import timeit
 
 __all__ = ["PoolError", "structural_key", "RankPool"]
 
@@ -158,9 +159,14 @@ class RankPool:
                 index, coords, _overrides = group.points[j]
                 for k, v in group.point_settings(j).items():
                     setattr(sim.s, k, v)
-                t0 = time.perf_counter()
-                res = sim.run(ballistic=plan.ballistic)
-                elapsed = time.perf_counter() - t0
+                with trace(
+                    "service.point", job_id=job.job_id, index=index,
+                    pool=self.pool_id,
+                ):
+                    timing = timeit(
+                        lambda: sim.run(ballistic=plan.ballistic), repeats=1
+                    )
+                res = timing.result
                 comm = None
                 if sim.last_comm:
                     comm = {
@@ -169,8 +175,9 @@ class RankPool:
                     }
                 runs.append(
                     RunResult.from_scba(
-                        index, coords, res, elapsed, keep_arrays=keep_arrays,
-                        comm=comm, rgf_kernel=sim.s.rgf_kernel,
+                        index, coords, res, timing.best,
+                        keep_arrays=keep_arrays, comm=comm,
+                        rgf_kernel=sim.s.rgf_kernel,
                     )
                 )
         runs.sort(key=lambda r: r.index)

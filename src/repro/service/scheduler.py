@@ -45,6 +45,8 @@ from ..config import (
     default_service_capacity,
     default_service_mode,
 )
+from ..telemetry import metrics as _metrics
+from ..telemetry.spans import metrics_enabled, trace
 from .cache import ResultCache
 from .jobs import Job
 from .packer import pack_jobs, price_plan
@@ -189,12 +191,14 @@ class SchedulerService:
         planned: List[Job] = []
         for job in sorted(batch, key=Job.order_key):
             job.transition("PLANNING")
-            try:
-                job.plan = job.workload.compile()
-                job.price = price_plan(job.plan)
-            except (PlanError, WorkloadError) as exc:
-                job.fail(f"planning failed: {exc}")
-                continue
+            with trace("service.plan", job_id=job.job_id, tenant=job.tenant):
+                try:
+                    job.plan = job.workload.compile()
+                    job.price = price_plan(job.plan)
+                except (PlanError, WorkloadError) as exc:
+                    job.fail(f"planning failed: {exc}")
+                    _metrics.add("service.jobs_failed")
+                    continue
             job.metrics["flops_priced"] = job.price.flops
             cached = self.cache.get(job.cache_key)
             if cached is not None:
@@ -203,16 +207,18 @@ class SchedulerService:
             job.metrics["cache"] = "miss"
             planned.append(job)
 
-        packing = pack_jobs(
-            planned,
-            self.capacity_flops,
-            pools=tuple(self._pools.values()),
-            allow_oversize=self.allow_oversize,
-            start_index=self._pool_counter,
-        )
+        with trace("service.pack", jobs=len(planned)):
+            packing = pack_jobs(
+                planned,
+                self.capacity_flops,
+                pools=tuple(self._pools.values()),
+                allow_oversize=self.allow_oversize,
+                start_index=self._pool_counter,
+            )
         for job in planned:
             if job.job_id in packing.rejected:
                 job.fail(packing.rejected[job.job_id])
+                _metrics.add("service.jobs_failed")
         admitted: List[Job] = []
         for assignment in packing.assignments:
             if assignment.new and assignment.job_ids:
@@ -228,8 +234,11 @@ class SchedulerService:
             pool = self._pools.get(assignment.pool_id)
             for job_id in assignment.job_ids:
                 job = self._jobs[job_id]
-                pool.admit(job)
-                job.transition("ADMITTED", f"packed onto {pool.pool_id}")
+                with trace(
+                    "service.admit", job_id=job.job_id, pool=pool.pool_id
+                ):
+                    pool.admit(job)
+                    job.transition("ADMITTED", f"packed onto {pool.pool_id}")
                 admitted.append(job)
 
         # strict priority order across all pools: no priority inversion
@@ -249,17 +258,33 @@ class SchedulerService:
         self._exec_counter += 1
         job.metrics["exec_order"] = self._exec_counter
         pool = self._pools[job.pool_id]
-        try:
-            result = pool.execute(job, keep_arrays=self.keep_arrays)
-        except Exception as exc:  # surface, don't kill the batch
-            job.fail(f"execution failed: {exc}")
-            return
+        before = (
+            _metrics.get_registry().snapshot() if metrics_enabled() else None
+        )
+        with trace(
+            "service.execute", job_id=job.job_id, tenant=job.tenant,
+            pool=job.pool_id,
+        ):
+            try:
+                result = pool.execute(job, keep_arrays=self.keep_arrays)
+            except Exception as exc:  # surface, don't kill the batch
+                job.fail(f"execution failed: {exc}")
+                _metrics.add("service.jobs_failed")
+                return
+        if before is not None:
+            after = _metrics.get_registry().snapshot()
+            job.metrics["telemetry"] = {
+                k: after[k] - before.get(k, 0)
+                for k in after
+                if after[k] != before.get(k, 0)
+            }
         job.metrics["flops_executed"] = job.price.flops
         job.metrics["queue_latency_s"] = job.queue_latency_s
         result.service = self._service_block(job)
         job.result = result
         self.cache.put(job.cache_key, result)
         job.transition("DONE")
+        _metrics.add("service.jobs_done")
 
     def _finish_cached(self, job: Job, cached: SweepResult, note: str) -> None:
         """Terminal CACHED: attach the hit's own metadata, zero execution."""
@@ -273,6 +298,7 @@ class SchedulerService:
         )
         job.result = replace(cached, service=self._service_block(job))
         job.transition("CACHED", note)
+        _metrics.add("service.jobs_cached")
 
     def _service_block(self, job: Job) -> Dict[str, Any]:
         """The metrics block serialized with the result (satellite 2)."""

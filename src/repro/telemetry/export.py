@@ -1,0 +1,126 @@
+"""Chrome-trace/Perfetto export of span trees plus JSON metrics snapshots.
+
+:func:`chrome_trace_events` flattens a :class:`~.spans.Tracer`'s
+completed span trees into the Chrome trace-event JSON array format —
+complete (``"ph": "X"``) events with microsecond timestamps, one *pid*
+per track (``main``, ``rank 0``, …) and one *tid* per recording thread,
+named through ``process_name``/``thread_name`` metadata events.  The
+resulting file opens directly in https://ui.perfetto.dev or
+``chrome://tracing``.
+
+:func:`telemetry_snapshot` bundles the trace with a metrics-registry
+snapshot into one JSON-serializable dict, the form carried by
+``RunResult.telemetry`` / ``SweepResult.telemetry`` / ``Job.metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from . import metrics as _metrics
+from . import spans as _spans
+
+__all__ = [
+    "chrome_trace_events",
+    "trace_json",
+    "save_trace",
+    "telemetry_snapshot",
+]
+
+
+def _walk(
+    span: Dict[str, Any],
+    pid: int,
+    tid: int,
+    t0_ns: int,
+    events: List[Dict[str, Any]],
+) -> None:
+    end_ns = span["end_ns"] if span["end_ns"] is not None else span["start_ns"]
+    events.append(
+        {
+            "name": span["name"],
+            "ph": "X",
+            "ts": (span["start_ns"] - t0_ns) / 1000.0,
+            "dur": (end_ns - span["start_ns"]) / 1000.0,
+            "pid": pid,
+            "tid": tid,
+            "args": span.get("attrs", {}),
+        }
+    )
+    for child in span.get("children", ()):
+        _walk(child, pid, tid, t0_ns, events)
+
+
+def _earliest_start(roots) -> int:
+    starts = [d["start_ns"] for _, d in roots]
+    return min(starts) if starts else 0
+
+
+def chrome_trace_events(
+    tracer: Optional[_spans.Tracer] = None,
+) -> List[Dict[str, Any]]:
+    """Flatten completed spans into a Chrome trace-event array.
+
+    Timestamps are microseconds relative to the earliest recorded span;
+    tracks share the monotonic clock, so merged rank spans line up with
+    the driver's phases.
+    """
+    tracer = tracer or _spans.get_tracer()
+    roots = tracer.roots()
+    t0_ns = _earliest_start(roots)
+
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    for track, span in roots:
+        if track not in pids:
+            pids[track] = len(pids)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[track],
+                    "tid": 0,
+                    "args": {"name": track},
+                }
+            )
+        thread = span.get("thread", "MainThread")
+        key = (track, thread)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == track])
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pids[track],
+                    "tid": tids[key],
+                    "args": {"name": thread},
+                }
+            )
+        _walk(span, pids[track], tids[key], t0_ns, events)
+    return events
+
+
+def trace_json(tracer: Optional[_spans.Tracer] = None) -> str:
+    """The Chrome trace as a JSON string (an event array)."""
+    return json.dumps(chrome_trace_events(tracer))
+
+
+def save_trace(path, tracer: Optional[_spans.Tracer] = None) -> None:
+    """Write a ``.trace.json`` that Perfetto/chrome://tracing opens."""
+    with open(path, "w") as fh:
+        fh.write(trace_json(tracer))
+
+
+def telemetry_snapshot(
+    tracer: Optional[_spans.Tracer] = None,
+    registry: Optional[_metrics.MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """The JSON-serializable bundle carried by results and job metrics."""
+    registry = registry or _metrics.get_registry()
+    return {
+        "mode": _spans.mode(),
+        "trace": chrome_trace_events(tracer),
+        "metrics": registry.snapshot(),
+    }
