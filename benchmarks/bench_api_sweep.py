@@ -99,11 +99,9 @@ def run_sweep_comparison() -> dict:
     }
 
 
-def test_api_sweep_reuse(benchmark, machine_info):
+def test_api_sweep_reuse(benchmark, bench_writer):
     record = benchmark.pedantic(run_sweep_comparison, rounds=1, iterations=1)
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("api", record, FAST)
 
     rows = [
         [

@@ -64,7 +64,7 @@ def test_greedy_smoke_matches_hand_recipe_at_toy_dims():
 
 
 @pytest.mark.skipif(FAST, reason="full-space paper-dims search")
-def test_autotune_paper_dims_and_roofline(machine_info):
+def test_autotune_paper_dims_and_roofline(bench_writer):
     """Acceptance: >= the hand recipe's 677x at paper dims, strictly
     fewer modeled bytes, and exact per-stage flops-model agreement."""
     t0 = time.time()
@@ -118,9 +118,7 @@ def test_autotune_paper_dims_and_roofline(machine_info):
         },
         "roofline": roof.to_dict(),
     }
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("autotune", record, FAST)
 
     report("\nAutotune vs hand recipe (paper dims):")
     report(

@@ -50,7 +50,7 @@ def _time(fn, *args, repeat=3):
     return out, best
 
 
-def test_backend_equivalence_and_speedup(machine_info):
+def test_backend_equivalence_and_speedup(bench_writer):
     """Every stage agrees across backends; generated code is >= 50x
     faster than interpretation over the pipeline (full mode only)."""
     interp = get_backend("interpreter")
@@ -106,9 +106,7 @@ def test_backend_equivalence_and_speedup(machine_info):
         "medium_numpy_seconds": t_m,
         "medium_interpreter_seconds_estimated": interp_estimate,
     }
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("codegen", record, FAST)
 
     report("\nSDFG execution backends (interpreter vs generated numpy):")
     for r in rows:

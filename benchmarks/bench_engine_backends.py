@@ -86,11 +86,9 @@ def run_engine_comparison() -> dict:
     }
 
 
-def test_engine_backends(benchmark, machine_info):
+def test_engine_backends(benchmark, bench_writer):
     record = benchmark.pedantic(run_engine_comparison, rounds=1, iterations=1)
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("engine", record, FAST)
 
     report(
         render_table(

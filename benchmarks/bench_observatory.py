@@ -1,0 +1,123 @@
+"""Performance observatory: timeline-analysis cost + scaling diagnostics.
+
+Two questions about the :mod:`repro.observe` layer itself:
+
+* **analysis cost** — distilling a captured 4-rank quickstart trace into
+  a :class:`~repro.observe.TimelineAnalysis` (phase breakdown, critical
+  path, imbalance, overlap headroom) must cost <= 1 s, so the
+  observatory is cheap enough to run after every distributed smoke;
+* **scaling diagnostics** — the measured load-imbalance factor
+  (max/mean rank busy) and overlap-headroom fraction at P in {2, 4, 8}
+  ranks of the README quickstart workload.  The headroom numbers are the
+  quantitative input for the ROADMAP async-runtime item: how much of the
+  SSE exchange an overlapped runtime could actually hide.
+
+Every run also re-checks the acceptance reconciliation: per-rank
+wait+exec coverage of the run window within 1%, and critical path >=
+max per-rank busy.  Emits ``BENCH_observe.json`` via the shared
+``bench_writer`` fixture.  ``REPRO_BENCH_FAST=1`` drops P=8 and keeps
+the committed record untouched.
+"""
+
+import os
+
+from repro.analysis import render_table
+from repro.analysis.report import report
+from repro.negf import (
+    SCBASettings,
+    SCBASimulation,
+    build_device,
+    build_hamiltonian_model,
+)
+from repro.observe import analyze_events
+from repro.telemetry import capture, timeit
+
+#: CI smoke mode: P in {2, 4} only, no committed JSON record.
+FAST = os.environ.get("REPRO_BENCH_FAST", "").strip() not in ("", "0")
+
+#: README quickstart device/grid; NE*Nkz = 16 points splits evenly
+#: across every rank count in the study.
+DEVICE = dict(nx_cols=6, ny_rows=3, NB=4, slab_width=2)
+NORB = 2
+GRID = dict(NE=8, Nkz=2, Nqz=2, Nw=2, e_min=-1.5, e_max=1.5,
+            coupling=0.2, mixing=0.5, max_iterations=2, tolerance=0.0)
+RANKS = [2, 4] if FAST else [2, 4, 8]
+ANALYSIS_P = 4  # the trace whose analysis cost is timed
+
+
+def _capture_run(model, P: int):
+    settings = SCBASettings(runtime="sim", ranks=P, schedule="omen", **GRID)
+    with capture("spans") as cap:
+        with SCBASimulation(model, settings) as sim:
+            sim.run()
+    return cap.events
+
+
+def run_observatory() -> dict:
+    model = build_hamiltonian_model(build_device(**DEVICE), Norb=NORB)
+
+    scaling = []
+    analysis_seconds = None
+    for P in RANKS:
+        events = _capture_run(model, P)
+        timing = timeit(lambda: analyze_events(events), repeats=1)
+        analysis = timing.result
+        if P == ANALYSIS_P:
+            analysis_seconds = timing.best
+        worst_coverage = min(
+            r["coverage"] for r in analysis.ranks.values()
+        )
+        max_busy = max(r["busy_s"] for r in analysis.ranks.values())
+        scaling.append({
+            "P": P,
+            "trace_events": len(events),
+            "wall_s": analysis.wall_s,
+            "imbalance_factor": analysis.imbalance_factor,
+            "critical_path_s": analysis.critical_path_s,
+            "max_rank_busy_s": max_busy,
+            "worst_rank_coverage": worst_coverage,
+            "headroom_s": analysis.overlap["headroom_s"],
+            "headroom_fraction": analysis.overlap["headroom_fraction"],
+        })
+    return {
+        "device": {**DEVICE, "Norb": NORB},
+        "grid": GRID,
+        "ranks": RANKS,
+        "analysis_P": ANALYSIS_P,
+        "analysis_seconds": analysis_seconds,
+        "scaling": scaling,
+    }
+
+
+def test_observatory(benchmark, bench_writer):
+    record = benchmark.pedantic(run_observatory, rounds=1, iterations=1)
+    record = bench_writer("observe", record, FAST)
+
+    report(
+        render_table(
+            "Performance observatory, quickstart SCBA on the sim "
+            "transport [timeline analytics]",
+            ["P", "wall s", "imbalance", "critical path s",
+             "headroom s", "headroom %", "coverage"],
+            [
+                [r["P"], f"{r['wall_s']:.3f}",
+                 f"{r['imbalance_factor']:.3f}",
+                 f"{r['critical_path_s']:.3f}",
+                 f"{r['headroom_s']:.3f}",
+                 f"{100 * r['headroom_fraction']:.1f}",
+                 f"{r['worst_rank_coverage']:.4f}"]
+                for r in record["scaling"]
+            ],
+        )
+    )
+
+    # ISSUE 10 acceptance: analyzing the 4-rank quickstart trace costs
+    # <= 1 s, and the timeline reconciles with the telemetry it was
+    # built from at every rank count.
+    assert record["analysis_seconds"] <= 1.0
+    for r in record["scaling"]:
+        assert r["worst_rank_coverage"] >= 0.99
+        assert r["critical_path_s"] >= r["max_rank_busy_s"] - 1e-9
+        assert r["critical_path_s"] <= r["wall_s"] * (1 + 1e-6)
+        assert r["imbalance_factor"] >= 1.0
+        assert 0.0 <= r["headroom_fraction"] <= 1.0

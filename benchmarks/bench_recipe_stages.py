@@ -64,7 +64,7 @@ def test_movement_reduction_at_paper_dims():
 
 
 @pytest.mark.parametrize("stage_name", _TIMED)
-def test_recipe_stage_runtime(benchmark, stage_name, machine_info):
+def test_recipe_stage_runtime(benchmark, stage_name, bench_writer):
     stage = _STAGES[stage_name]
 
     def run():
@@ -115,9 +115,7 @@ def test_recipe_stage_runtime(benchmark, stage_name, machine_info):
         ],
         "movement_reduction": movement.total_reduction,
     }
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("recipe", record, FAST)
 
     first, last = _STATS["fig8"], _STATS["fig12s"]
     report("\nRecipe ablation (interpreted + generated + modeled movement):")

@@ -160,7 +160,7 @@ def run_scba_kernels() -> dict:
     }
 
 
-def test_rgf_kernels(benchmark, machine_info):
+def test_rgf_kernels(benchmark, machine_info, bench_writer):
     def run():
         return {
             "machine": machine_info,
@@ -170,8 +170,7 @@ def test_rgf_kernels(benchmark, machine_info):
         }
 
     record = benchmark.pedantic(run, rounds=1, iterations=1)
-    if not FAST:
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("rgf", record, FAST)
 
     t6 = record["table6_in_solver"]
     scba = record["scba_end_to_end"]

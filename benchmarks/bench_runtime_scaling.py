@@ -163,11 +163,9 @@ def run_runtime_scaling() -> dict:
     }
 
 
-def test_runtime_scaling(benchmark, machine_info):
+def test_runtime_scaling(benchmark, bench_writer):
     record = benchmark.pedantic(run_runtime_scaling, rounds=1, iterations=1)
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("runtime", record, FAST)
 
     for panel in ("strong", "weak"):
         report(

@@ -117,13 +117,11 @@ def run_throughput_comparison() -> dict:
     }
 
 
-def test_service_throughput(benchmark, machine_info):
+def test_service_throughput(benchmark, bench_writer):
     record = benchmark.pedantic(
         run_throughput_comparison, rounds=1, iterations=1
     )
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("service", record, FAST)
 
     rows = [
         [

@@ -147,12 +147,10 @@ def run_drift_smoke() -> dict:
     }
 
 
-def test_telemetry_overhead(benchmark, machine_info):
+def test_telemetry_overhead(benchmark, bench_writer):
     record = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
     record["smoke"] = run_drift_smoke()
-    if not FAST:
-        record = {"machine": machine_info, **record}
-        _OUT.write_text(json.dumps(record, indent=2) + "\n")
+    record = bench_writer("telemetry", record, FAST)
 
     report(
         render_table(

@@ -1,0 +1,369 @@
+"""Per-rank timeline analysis of distributed-runtime traces.
+
+Reconstructs what each rank *did* from the Chrome-trace events the
+telemetry layer exports (:func:`repro.telemetry.export.chrome_trace_events`
+or a saved ``.trace.json``): the driver's phase windows
+(``runtime.solve_gf`` / ``runtime.sse_exchange`` /
+``runtime.residual_allreduce`` / ``runtime.gather``) intersected with
+every rank track's measured busy (``runtime.exec`` + nested rank spans)
+and idle (``runtime.wait``) intervals.  Both transports produce the same
+span vocabulary, so one analysis covers the in-process ``sim`` ranks and
+the forked ``pipe`` ranks alike.
+
+Derived quantities (all clipped to the ``runtime.run`` wall window):
+
+* **phase breakdown** — window seconds and per-rank busy/wait per phase;
+* **load-imbalance factor** — max over ranks of busy time divided by the
+  mean (1.0 = perfectly balanced, the Fig. 13 scaling ideal);
+* **idle fractions** — measured ``runtime.wait`` seconds per rank over
+  the wall (instrumented at the transport blocking points, not inferred
+  by subtraction — the two are asserted to agree in the tests);
+* **critical path** — per phase window the slowest rank's busy time
+  (driver-only windows and unphased driver gaps count whole), summed: a
+  lower bound on the wall achievable with perfect intra-phase overlap;
+* **overlap headroom** — how much of the SSE-exchange wall time could be
+  hidden by posting phonon-row exchanges during the electron solves:
+  ``min(T_exchange, min_r idle_r(solve windows))`` — the quantitative
+  input for the ROADMAP's async-runtime item;
+* **per-phase comm** — the per-rank §4.1 byte accounting the runtime
+  attaches to each phase span (``attrs["comm"]``), re-summed from the
+  trace; :func:`repro.telemetry.drift.comm_drift` accepts the result via
+  its ``last_comm`` override, closing the trace → model loop.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..parallel.simmpi import CommStats
+
+__all__ = [
+    "PHASES",
+    "TimelineAnalysis",
+    "analyze_events",
+    "analyze_tracer",
+    "analyze_trace_file",
+]
+
+#: driver phase spans, in loop order; short names key the comm accounting
+PHASES: Dict[str, str] = {
+    "runtime.solve_gf": "solve_gf",
+    "runtime.sse_exchange": "sse",
+    "runtime.residual_allreduce": "residual",
+    "runtime.gather": "gather",
+}
+
+_RANK_TRACK = re.compile(r"^rank (\d+)$")
+
+Interval = Tuple[float, float]  # (start_us, end_us)
+
+
+def _merge(intervals: List[Interval]) -> List[Interval]:
+    """Union of intervals (handles the nested exec/rank span double cover)."""
+    out: List[Interval] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if out and start <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], end))
+        else:
+            out.append((start, end))
+    return out
+
+
+def _clip(intervals: Sequence[Interval], window: Interval) -> List[Interval]:
+    lo, hi = window
+    return [
+        (max(s, lo), min(e, hi))
+        for s, e in intervals
+        if min(e, hi) > max(s, lo)
+    ]
+
+
+def _total_us(intervals: Sequence[Interval]) -> float:
+    return sum(e - s for s, e in intervals)
+
+
+@dataclass
+class RankActivity:
+    """One rank's measured intervals, already merged and wall-clipped."""
+
+    rank: int
+    busy: List[Interval] = field(default_factory=list)
+    wait: List[Interval] = field(default_factory=list)
+    by_method_us: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def busy_us(self) -> float:
+        return _total_us(self.busy)
+
+    @property
+    def wait_us(self) -> float:
+        return _total_us(self.wait)
+
+
+@dataclass
+class TimelineAnalysis:
+    """The reconstructed run: wall, phases, ranks, and derived metrics."""
+
+    wall_s: float
+    run_args: Dict[str, Any]
+    #: per phase short name: seconds / window count / per-rank busy+wait
+    phases: Dict[str, Dict[str, Any]]
+    #: per rank: busy/wait seconds, coverage, idle fraction, method split
+    ranks: Dict[int, Dict[str, Any]]
+    imbalance_factor: Optional[float]
+    critical_path_s: float
+    overlap: Dict[str, Any]
+    #: per-phase per-rank byte accounting re-summed from the phase spans
+    comm: Dict[str, Dict[str, List[int]]]
+
+    def comm_stats(self) -> Dict[str, CommStats]:
+        """The re-derived accounting in the shape ``drift.comm_drift``
+        accepts as its ``last_comm`` override."""
+        return {
+            phase: CommStats.from_dict(d) for phase, d in self.comm.items()
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "wall_s": self.wall_s,
+            "run_args": dict(self.run_args),
+            "phases": {k: dict(v) for k, v in self.phases.items()},
+            "ranks": {str(r): dict(v) for r, v in self.ranks.items()},
+            "imbalance_factor": self.imbalance_factor,
+            "critical_path_s": self.critical_path_s,
+            "overlap": dict(self.overlap),
+            "comm": {k: dict(v) for k, v in self.comm.items()},
+        }
+
+    def to_markdown(self) -> str:
+        """A human-readable observatory report (the CLI's output)."""
+        lines = ["## Timeline analysis", ""]
+        args = ", ".join(f"{k}={v}" for k, v in sorted(self.run_args.items()))
+        lines.append(f"- wall: **{self.wall_s:.4f} s** ({args})")
+        if self.imbalance_factor is not None:
+            lines.append(
+                f"- load-imbalance factor (max/mean busy): "
+                f"**{self.imbalance_factor:.3f}**"
+            )
+        lines.append(f"- critical path: **{self.critical_path_s:.4f} s** "
+                     f"({100 * self.critical_path_s / self.wall_s:.1f}% of wall)"
+                     if self.wall_s else "- critical path: n/a")
+        ov = self.overlap
+        if ov.get("headroom_s") is not None:
+            lines.append(
+                f"- overlap headroom: **{ov['headroom_s']:.4f} s** "
+                f"({100 * ov['headroom_fraction']:.1f}% of wall) — exchange "
+                f"time hideable under the electron solves"
+            )
+        lines += ["", "| phase | windows | seconds | % wall |",
+                  "|---|---:|---:|---:|"]
+        for name, ph in self.phases.items():
+            pct = 100 * ph["seconds"] / self.wall_s if self.wall_s else 0.0
+            lines.append(
+                f"| {name} | {ph['windows']} | {ph['seconds']:.4f} "
+                f"| {pct:.1f}% |"
+            )
+        if self.ranks:
+            lines += ["", "| rank | busy s | wait s | idle frac | coverage |",
+                      "|---:|---:|---:|---:|---:|"]
+            for r, info in sorted(self.ranks.items()):
+                lines.append(
+                    f"| {r} | {info['busy_s']:.4f} | {info['wait_s']:.4f} "
+                    f"| {info['idle_fraction']:.3f} "
+                    f"| {info['coverage']:.3f} |"
+                )
+        if self.comm:
+            lines += ["", "| phase | bytes (sum over ranks) | messages |",
+                      "|---|---:|---:|"]
+            for phase, d in self.comm.items():
+                lines.append(
+                    f"| {phase} | {sum(d['sent_bytes'])} "
+                    f"| {sum(d['messages'])} |"
+                )
+        return "\n".join(lines)
+
+
+def _tracks(events: Sequence[Dict[str, Any]]) -> Dict[int, str]:
+    """pid → track name, from the ``process_name`` metadata events."""
+    return {
+        ev["pid"]: ev["args"]["name"]
+        for ev in events
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+
+
+def _accumulate_comm(
+    acc: Dict[str, Dict[str, List[int]]], phase: str, comm: Dict[str, Any]
+) -> None:
+    stats = CommStats.from_dict(comm)
+    if phase in acc:
+        stats = CommStats.from_dict(acc[phase]) + stats
+    acc[phase] = stats.to_dict()
+
+
+def analyze_events(
+    events: Sequence[Dict[str, Any]], run: int = -1
+) -> TimelineAnalysis:
+    """Analyze one ``runtime.run`` window of a Chrome-trace event array.
+
+    ``run`` indexes the run windows found on the driver track (a resident
+    runtime traces one per sweep point); the default is the last.
+    """
+    tracks = _tracks(events)
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    by_track: Dict[str, List[Dict[str, Any]]] = {}
+    for ev in spans:
+        by_track.setdefault(tracks.get(ev["pid"], "main"), []).append(ev)
+
+    runs = sorted(
+        (ev for ev in by_track.get("main", ()) if ev["name"] == "runtime.run"),
+        key=lambda ev: ev["ts"],
+    )
+    if not runs:
+        raise ValueError(
+            "no 'runtime.run' span in the trace — the timeline analysis "
+            "needs a distributed run recorded with REPRO_TELEMETRY=spans "
+            "or full"
+        )
+    run_ev = runs[run]
+    wall: Interval = (run_ev["ts"], run_ev["ts"] + run_ev["dur"])
+    wall_us = wall[1] - wall[0]
+
+    # -- driver phase windows (+ the attached per-phase comm accounting) ----
+    windows: List[Tuple[str, Interval]] = []
+    comm: Dict[str, Dict[str, List[int]]] = {}
+    for ev in by_track.get("main", ()):
+        short = PHASES.get(ev["name"])
+        if short is None:
+            continue
+        iv = _clip([(ev["ts"], ev["ts"] + ev["dur"])], wall)
+        if not iv:
+            continue
+        windows.append((short, iv[0]))
+        if isinstance(ev.get("args"), dict) and "comm" in ev["args"]:
+            _accumulate_comm(comm, short, ev["args"]["comm"])
+    windows.sort(key=lambda w: w[1][0])
+
+    # -- rank activity ------------------------------------------------------
+    activities: Dict[int, RankActivity] = {}
+    for track, track_events in by_track.items():
+        m = _RANK_TRACK.match(track)
+        if not m:
+            continue
+        act = activities.setdefault(int(m.group(1)), RankActivity(int(m.group(1))))
+        for ev in track_events:
+            iv = _clip([(ev["ts"], ev["ts"] + ev["dur"])], wall)
+            if not iv:
+                continue
+            if ev["name"] == "runtime.wait":
+                act.wait.extend(iv)
+            else:
+                act.busy.extend(iv)
+                if ev["name"] == "runtime.exec":
+                    method = ev.get("args", {}).get("method", "?")
+                    act.by_method_us[method] = (
+                        act.by_method_us.get(method, 0.0) + _total_us(iv)
+                    )
+    for act in activities.values():
+        act.busy = _merge(act.busy)
+        act.wait = _merge(act.wait)
+
+    # -- phase breakdown ----------------------------------------------------
+    phases: Dict[str, Dict[str, Any]] = {}
+    busy_in_window: List[float] = []  # per window: slowest rank's busy (µs)
+    for short, iv in windows:
+        ph = phases.setdefault(
+            short, {"seconds": 0.0, "windows": 0, "busy_s": {}, "wait_s": {}}
+        )
+        ph["seconds"] += (iv[1] - iv[0]) / 1e6
+        ph["windows"] += 1
+        worst = 0.0
+        for rank, act in activities.items():
+            b = _total_us(_clip(act.busy, iv))
+            w = _total_us(_clip(act.wait, iv))
+            ph["busy_s"][rank] = ph["busy_s"].get(rank, 0.0) + b / 1e6
+            ph["wait_s"][rank] = ph["wait_s"].get(rank, 0.0) + w / 1e6
+            worst = max(worst, b)
+        busy_in_window.append(worst if worst > 0.0 else iv[1] - iv[0])
+    for ph in phases.values():
+        ph["busy_s"] = {r: ph["busy_s"][r] for r in sorted(ph["busy_s"])}
+        ph["wait_s"] = {r: ph["wait_s"][r] for r in sorted(ph["wait_s"])}
+
+    # -- per-rank summary + imbalance --------------------------------------
+    ranks: Dict[int, Dict[str, Any]] = {}
+    for rank in sorted(activities):
+        act = activities[rank]
+        ranks[rank] = {
+            "busy_s": act.busy_us / 1e6,
+            "wait_s": act.wait_us / 1e6,
+            "idle_fraction": act.wait_us / wall_us if wall_us else 0.0,
+            "coverage": (
+                (act.busy_us + act.wait_us) / wall_us if wall_us else 0.0
+            ),
+            "by_method_s": {
+                k: v / 1e6 for k, v in sorted(act.by_method_us.items())
+            },
+        }
+    busies = [info["busy_s"] for info in ranks.values()]
+    imbalance = None
+    if busies and sum(busies) > 0:
+        imbalance = max(busies) / (sum(busies) / len(busies))
+
+    # -- critical path ------------------------------------------------------
+    # per phase window the slowest rank's busy time; driver-only windows
+    # and the unphased driver remainder count whole.  >= max_r busy_r by
+    # construction (sum of per-window maxima >= max of per-window sums).
+    windows_us = sum(iv[1] - iv[0] for _, iv in windows)
+    critical_us = sum(busy_in_window) + max(wall_us - windows_us, 0.0)
+
+    # -- overlap headroom ---------------------------------------------------
+    solve_windows = [iv for short, iv in windows if short == "solve_gf"]
+    exchange_us = sum(
+        iv[1] - iv[0] for short, iv in windows if short == "sse"
+    )
+    headroom_s = headroom_fraction = None
+    idle_in_solve: Dict[int, float] = {}
+    if activities and solve_windows:
+        for rank, act in activities.items():
+            idle_in_solve[rank] = sum(
+                _total_us(_clip(act.wait, iv)) for iv in solve_windows
+            )
+        hideable_us = min(exchange_us, min(idle_in_solve.values()))
+        headroom_s = hideable_us / 1e6
+        headroom_fraction = hideable_us / wall_us if wall_us else 0.0
+
+    return TimelineAnalysis(
+        wall_s=wall_us / 1e6,
+        run_args=dict(run_ev.get("args", {})),
+        phases=phases,
+        ranks=ranks,
+        imbalance_factor=imbalance,
+        critical_path_s=critical_us / 1e6,
+        overlap={
+            "exchange_s": exchange_us / 1e6,
+            "idle_in_solve_s": {
+                r: v / 1e6 for r, v in sorted(idle_in_solve.items())
+            },
+            "headroom_s": headroom_s,
+            "headroom_fraction": headroom_fraction,
+        },
+        comm=comm,
+    )
+
+
+def analyze_tracer(tracer=None, run: int = -1) -> TimelineAnalysis:
+    """Analyze the (global) tracer's currently recorded spans in place."""
+    from ..telemetry.export import chrome_trace_events
+
+    return analyze_events(chrome_trace_events(tracer), run=run)
+
+
+def analyze_trace_file(path, run: int = -1) -> TimelineAnalysis:
+    """Analyze a saved ``.trace.json`` (the ``save_trace`` format)."""
+    with open(path) as fh:
+        return analyze_events(json.load(fh), run=run)

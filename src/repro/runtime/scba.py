@@ -168,8 +168,14 @@ class DistributedSCBARuntime:
         return False
 
     @contextmanager
-    def _meter(self, phase: str):
-        """Accumulate the transport-byte delta of a block under ``phase``."""
+    def _meter(self, phase: str, span=None):
+        """Accumulate the transport-byte delta of a block under ``phase``.
+
+        When the block's phase ``span`` is live, the per-rank delta is
+        also attached to it (``attrs["comm"]``), so exported timelines
+        carry the exact §4.1-comparable byte counts alongside the timing
+        (consumed by :mod:`repro.observe.timeline`).
+        """
         t = self._transport
         before = t.comm.snapshot()
         try:
@@ -185,6 +191,8 @@ class DistributedSCBARuntime:
                 self.last_comm[phase] = self.last_comm[phase] + delta
             else:
                 self.last_comm[phase] = delta
+            if span is not None:
+                span.attrs["comm"] = delta.to_dict()
 
     # -- driver ------------------------------------------------------------------
     def run(self, ballistic: bool = False):
@@ -214,13 +222,15 @@ class DistributedSCBARuntime:
             "runtime.run", ranks=P, schedule=self.schedule,
             transport=self.transport_name,
         ):
+            t.mark_epoch()
             for it in range(max_iter):
                 iterations = it + 1
                 with trace("runtime.solve_gf", iteration=it):
                     parts = t.call_all("solve_gf", [()] * P)
                 if parts[0][0]:  # every rank saw a previous iteration
-                    with trace("runtime.residual_allreduce", iteration=it), \
-                            self._meter("residual"):
+                    with trace(
+                        "runtime.residual_allreduce", iteration=it
+                    ) as span, self._meter("residual", span):
                         # allreduce of the 2-float residual contribution
                         for r in range(1, P):
                             t.charge(r, 0, 16)
@@ -238,15 +248,18 @@ class DistributedSCBARuntime:
                 if ballistic:
                     converged = True
                     break
-                with trace("runtime.sse_exchange", iteration=it), \
-                        self._meter("sse"):
+                with trace(
+                    "runtime.sse_exchange", iteration=it
+                ) as span, self._meter("sse", span):
                     t.call_all("sse_begin", [()] * P)
                     self.exchange.run_iteration(t)
                     t.call_all("finish_iteration", [()] * P)
                 self.n_sse_iterations += 1
 
-            with trace("runtime.gather"), self._meter("gather"):
+            with trace("runtime.gather") as span, \
+                    self._meter("gather", span):
                 tensors = self._gather(t)
+            t.flush_waits()
         self._drain_rank_telemetry(t)
 
         from ..negf.scba import density_observable, dissipation_observable

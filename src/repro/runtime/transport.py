@@ -23,13 +23,15 @@ transport-independent and comparable against the closed-form §4.1 models
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
 import weakref
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..config import RUNTIMES
 from ..parallel.schedules import LocalTransport
 from ..parallel.simmpi import CommStats, SimComm
+from ..telemetry.spans import record_span, scoped_span, spans_enabled
 
 __all__ = [
     "TransportError",
@@ -82,6 +84,19 @@ class Transport:
         """Invoke ``method`` on every rank (parallel where possible)."""
         raise NotImplementedError
 
+    # -- wait accounting --------------------------------------------------------
+    def mark_epoch(self) -> None:
+        """Start measuring per-rank wait time (no-op when spans are off).
+
+        Called by the runtime right after the ``runtime.run`` span opens;
+        from here until :meth:`flush_waits` every gap between a rank's
+        activities is recorded as a ``runtime.wait`` span on its track.
+        """
+
+    def flush_waits(self) -> None:
+        """Close the wait-accounting window: record each rank's tail wait
+        (last activity → now) and stop measuring."""
+
     def close(self) -> None:
         """Release workers (idempotent)."""
 
@@ -107,24 +122,80 @@ class SimTransport(Transport):
     def __init__(self, P: int):
         super().__init__(P)
         self._local: Optional[LocalTransport] = None
+        #: per-rank end of the last activity inside the wait window
+        #: (``None`` outside a :meth:`mark_epoch`/:meth:`flush_waits` pair)
+        self._last_end_ns: Optional[Dict[int, int]] = None
 
     def start(self, factory: Callable[[int], object]) -> None:
         self._local = LocalTransport(
             self.comm, [factory(rank) for rank in range(self.P)]
         )
 
+    def _rank_tracer(self, rank: int):
+        return getattr(self._local.stores[rank], "tracer", None)
+
     def call(self, rank: int, method: str, *args):
-        return self._local.call(rank, method, *args)
+        if not spans_enabled():
+            return self._local.call(rank, method, *args)
+        tracer = self._rank_tracer(rank)
+        if tracer is None or method == "drain_telemetry":
+            return self._local.call(rank, method, *args)
+        with scoped_span(
+            tracer, "runtime.exec", rank=rank, method=method
+        ) as span:
+            result = self._local.call(rank, method, *args)
+        if self._last_end_ns is not None and span is not None:
+            # anchor the wait on the exec span's own stamps so the
+            # rank's wait+exec intervals tile the window gap-free
+            last = self._last_end_ns.get(rank)
+            if last is not None:
+                record_span(
+                    "runtime.wait", last, span.start_ns, tracer=tracer,
+                    rank=rank, cause="serialized",
+                )
+            self._last_end_ns[rank] = span.end_ns
+        return result
 
     def call_all(self, method: str, args_list: Sequence[Tuple]):
-        return self._local.call_all(method, args_list)
+        if not spans_enabled():
+            return self._local.call_all(method, args_list)
+        return [
+            self.call(r, method, *args) for r, args in enumerate(args_list)
+        ]
+
+    def mark_epoch(self) -> None:
+        if not spans_enabled():
+            return
+        now = time.perf_counter_ns()
+        self._last_end_ns = {rank: now for rank in range(self.P)}
+
+    def flush_waits(self) -> None:
+        if self._last_end_ns is None:
+            return
+        now = time.perf_counter_ns()
+        for rank, last in self._last_end_ns.items():
+            tracer = self._rank_tracer(rank)
+            if tracer is not None:
+                record_span(
+                    "runtime.wait", last, now, tracer=tracer,
+                    rank=rank, cause="serialized",
+                )
+        self._last_end_ns = None
 
     def close(self) -> None:
         self._local = None
+        self._last_end_ns = None
 
 
 def _pipe_worker_main(factory, rank: int, conn) -> None:
-    """Worker loop: build the resident rank state, serve commands."""
+    """Worker loop: build the resident rank state, serve commands.
+
+    Between :data:`_MARK_EPOCH` and :data:`_FLUSH_WAITS` control messages
+    the loop measures its own ``conn.recv()`` blocking time — genuine
+    rank idle, recorded as ``runtime.wait`` spans in the worker's tracer
+    — and wraps each served method in a ``runtime.exec`` span, so the
+    drained rank track carries measured wait *and* busy intervals.
+    """
     try:
         worker = factory(rank)
     except BaseException:  # noqa: BLE001 - report construction failures too
@@ -132,16 +203,59 @@ def _pipe_worker_main(factory, rank: int, conn) -> None:
         conn.close()
         return
     conn.send((True, None))  # construction handshake
+    tracer = getattr(worker, "tracer", None)
+    last_end_ns: Optional[int] = None  # wait-window state (None = inactive)
     while True:
         msg = conn.recv()
+        recv_ns = time.perf_counter_ns()
         if msg is None:
             break
         method, args = msg
+        if method == _MARK_EPOCH:
+            last_end_ns = time.perf_counter_ns()
+            conn.send((True, None))
+            continue
+        if method == _FLUSH_WAITS:
+            if last_end_ns is not None and tracer is not None:
+                record_span(
+                    "runtime.wait", last_end_ns, recv_ns, tracer=tracer,
+                    rank=rank, cause="recv",
+                )
+            last_end_ns = None
+            conn.send((True, None))
+            continue
+        instrument = (
+            tracer is not None
+            and method != "drain_telemetry"
+            and spans_enabled()
+        )
         try:
-            conn.send((True, getattr(worker, method)(*args)))
+            if instrument:
+                with scoped_span(
+                    tracer, "runtime.exec", rank=rank, method=method
+                ) as span:
+                    result = getattr(worker, method)(*args)
+                if last_end_ns is not None and span is not None:
+                    # wait = recv blocking + dispatch, anchored on the
+                    # exec span's stamps so wait+exec tile gap-free
+                    record_span(
+                        "runtime.wait", last_end_ns, span.start_ns,
+                        tracer=tracer, rank=rank, cause="recv",
+                    )
+                    last_end_ns = span.end_ns
+            else:
+                result = getattr(worker, method)(*args)
+                if last_end_ns is not None:
+                    last_end_ns = time.perf_counter_ns()
+            conn.send((True, result))
         except BaseException:  # noqa: BLE001 - ship the traceback upward
             conn.send((False, traceback.format_exc()))
     conn.close()
+
+
+#: control messages of the pipe worker loop (never worker method names)
+_MARK_EPOCH = "__mark_epoch__"
+_FLUSH_WAITS = "__flush_waits__"
 
 
 def _terminate_procs(procs):
@@ -209,6 +323,14 @@ class PipeTransport(Transport):
         for rank, args in enumerate(args_list):
             self._conns[rank].send((method, args))
         return [self._recv(rank) for rank in range(self.P)]
+
+    def mark_epoch(self) -> None:
+        if spans_enabled():
+            self.call_all(_MARK_EPOCH, [()] * self.P)
+
+    def flush_waits(self) -> None:
+        if spans_enabled():
+            self.call_all(_FLUSH_WAITS, [()] * self.P)
 
     def close(self) -> None:
         if self._conns is None:

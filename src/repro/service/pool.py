@@ -239,8 +239,11 @@ class RankPool:
     def stats(self) -> Dict[str, Any]:
         return {
             "pool_id": self.pool_id,
-            "capacity_flops": self.capacity_flops,
-            "committed_flops": self.committed_flops,
+            "capacity_flops": float(self.capacity_flops),
+            "committed_flops": float(self.committed_flops),
+            "utilization": (
+                float(self.committed_flops) / float(self.capacity_flops)
+            ),
             "jobs": list(self.job_ids),
             "groups": len(self._sims),
             "reuse": self.boundary_counters(),

@@ -35,8 +35,11 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
 
 from ..api import PlanError, Workload, WorkloadError
 from ..api.session import SweepResult
@@ -53,6 +56,28 @@ from .packer import pack_jobs, price_plan
 from .pool import RankPool
 
 __all__ = ["SchedulerError", "SchedulerService"]
+
+#: queue-latency samples retained for percentile reporting — a bounded
+#: recent-window reservoir, so ``stats()`` never depends on the full job
+#: history (jobs may number far beyond this over a service's lifetime)
+LATENCY_RESERVOIR = 256
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce numpy scalars/arrays so ``stats()`` JSON-round-trips."""
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
 
 
 class SchedulerError(RuntimeError):
@@ -88,6 +113,9 @@ class SchedulerService:
         self.keep_arrays = keep_arrays
         self._jobs: Dict[str, Job] = {}
         self._queue: List[Job] = []
+        #: bounded recent-window queue-latency samples + lifetime count
+        self._latencies: deque = deque(maxlen=LATENCY_RESERVOIR)
+        self._latency_count = 0
         self._pools: Dict[str, RankPool] = {}
         self._pool_counter = 0
         self._exec_counter = 0
@@ -280,6 +308,7 @@ class SchedulerService:
             }
         job.metrics["flops_executed"] = job.price.flops
         job.metrics["queue_latency_s"] = job.queue_latency_s
+        self._record_latency(job.queue_latency_s)
         result.service = self._service_block(job)
         job.result = result
         self.cache.put(job.cache_key, result)
@@ -297,6 +326,7 @@ class SchedulerService:
             queue_latency_s=job.queue_latency_s,
         )
         job.result = replace(cached, service=self._service_block(job))
+        self._record_latency(job.queue_latency_s)
         job.transition("CACHED", note)
         _metrics.add("service.jobs_cached")
 
@@ -319,14 +349,58 @@ class SchedulerService:
         }
 
     # -- accounting ---------------------------------------------------------------
+    def _record_latency(self, latency_s: Optional[float]) -> None:
+        """Sample one job's queue latency into the bounded reservoir."""
+        if latency_s is None:
+            return
+        self._latencies.append(float(latency_s))
+        self._latency_count += 1
+
+    def _latency_stats(self) -> Dict[str, Any]:
+        """p50/p95/max/mean over the recent-window reservoir (bounded)."""
+        samples = sorted(self._latencies)
+        if not samples:
+            return {
+                "count": self._latency_count, "window": 0,
+                "p50": None, "p95": None, "max": None, "mean": None,
+            }
+
+        def pct(q: float) -> float:
+            return samples[min(int(q * len(samples)), len(samples) - 1)]
+
+        return {
+            "count": self._latency_count,
+            "window": len(samples),
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "max": samples[-1],
+            "mean": sum(samples) / len(samples),
+        }
+
     def stats(self) -> Dict[str, Any]:
-        """Aggregated service metrics across all jobs, pools, and tiers."""
+        """Aggregated service metrics across all jobs, pools, and tiers.
+
+        JSON-serializable end-to-end (numpy scalars coerced), so the dict
+        can be dumped for out-of-process health checks
+        (:func:`repro.observe.health.service_health`).
+        """
         states: Dict[str, int] = {}
+        tenants: Dict[str, Dict[str, int]] = {}
         priced = executed = 0.0
         solves = hits = saved = 0
         latencies: List[float] = []
         for job in self._jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
+            t = tenants.setdefault(
+                job.tenant, {"jobs": 0, "done": 0, "cached": 0, "failed": 0}
+            )
+            t["jobs"] += 1
+            if job.state == "DONE":
+                t["done"] += 1
+            elif job.state == "CACHED":
+                t["cached"] += 1
+            elif job.state == "FAILED":
+                t["failed"] += 1
             priced += job.metrics.get("flops_priced", 0.0)
             executed += job.metrics.get("flops_executed", 0.0)
             solves += job.metrics.get("boundary_solves", 0)
@@ -334,10 +408,11 @@ class SchedulerService:
             saved += job.metrics.get("boundary_solves_saved", 0)
             if job.queue_latency_s is not None:
                 latencies.append(job.queue_latency_s)
-        return {
+        return _jsonify({
             "mode": self.mode,
             "capacity_flops": self.capacity_flops,
             "jobs": states,
+            "tenants": tenants,
             "queued": len(self._queue),
             "flops_priced": priced,
             "flops_executed": executed,
@@ -347,9 +422,10 @@ class SchedulerService:
             "mean_queue_latency_s": (
                 sum(latencies) / len(latencies) if latencies else None
             ),
+            "queue_latency_s": self._latency_stats(),
             "cache": self.cache.stats(),
             "pools": [p.stats() for p in self._pools.values()],
-        }
+        })
 
     def jobs(self) -> List[Job]:
         """Every job the service has seen, in submit order."""

@@ -143,7 +143,7 @@ def _resolve_runtime(sim):
     return rt
 
 
-def comm_drift(sim) -> DriftReport:
+def comm_drift(sim, last_comm=None) -> DriftReport:
     """Reconcile a distributed run's measured bytes against §4.1 models.
 
     ``sim`` is a :class:`~repro.negf.SCBASimulation` whose last
@@ -153,6 +153,12 @@ def comm_drift(sim) -> DriftReport:
     model scaled by the executed Born iterations — to the byte, per
     rank — and the residual allreduce must equal
     :func:`~repro.model.communication.residual_allreduce_stats`.
+
+    ``last_comm`` overrides the runtime's own per-phase stats with an
+    independently re-derived set (e.g. the byte counts a
+    :class:`~repro.observe.timeline.TimelineAnalysis` reads back out of
+    the exported phase spans) while keeping the same models — the
+    trace-vs-model closure check of the performance observatory.
     """
     from ..model.communication import (
         dace_exchange_stats,
@@ -163,7 +169,7 @@ def comm_drift(sim) -> DriftReport:
     rt = _resolve_runtime(sim)
     model, s = rt.model, rt.s
     dev = model.structure
-    last = rt.last_comm
+    last = rt.last_comm if last_comm is None else last_comm
     records = []
 
     if "sse" in last:

@@ -22,11 +22,31 @@ from . import metrics as _metrics
 from . import spans as _spans
 
 __all__ = [
+    "walk_span_tree",
+    "iter_spans",
     "chrome_trace_events",
     "trace_json",
     "save_trace",
     "telemetry_snapshot",
 ]
+
+
+def walk_span_tree(span: Dict[str, Any], depth: int = 0):
+    """Yield ``(depth, span_dict)`` over one root's subtree, pre-order.
+
+    The one span-tree walker shared by the Chrome export and the
+    observatory's timeline analysis (:mod:`repro.observe.timeline`)."""
+    yield depth, span
+    for child in span.get("children", ()):
+        yield from walk_span_tree(child, depth + 1)
+
+
+def iter_spans(tracer: Optional[_spans.Tracer] = None):
+    """Yield ``(track, depth, span_dict)`` over every completed span."""
+    tracer = tracer or _spans.get_tracer()
+    for track, root in tracer.roots():
+        for depth, span in walk_span_tree(root):
+            yield track, depth, span
 
 
 def _walk(
@@ -36,20 +56,21 @@ def _walk(
     t0_ns: int,
     events: List[Dict[str, Any]],
 ) -> None:
-    end_ns = span["end_ns"] if span["end_ns"] is not None else span["start_ns"]
-    events.append(
-        {
-            "name": span["name"],
-            "ph": "X",
-            "ts": (span["start_ns"] - t0_ns) / 1000.0,
-            "dur": (end_ns - span["start_ns"]) / 1000.0,
-            "pid": pid,
-            "tid": tid,
-            "args": span.get("attrs", {}),
-        }
-    )
-    for child in span.get("children", ()):
-        _walk(child, pid, tid, t0_ns, events)
+    for _, node in walk_span_tree(span):
+        end_ns = (
+            node["end_ns"] if node["end_ns"] is not None else node["start_ns"]
+        )
+        events.append(
+            {
+                "name": node["name"],
+                "ph": "X",
+                "ts": (node["start_ns"] - t0_ns) / 1000.0,
+                "dur": (end_ns - node["start_ns"]) / 1000.0,
+                "pid": pid,
+                "tid": tid,
+                "args": node.get("attrs", {}),
+            }
+        )
 
 
 def _earliest_start(roots) -> int:

@@ -37,6 +37,7 @@ __all__ = [
     "Tracer",
     "trace",
     "traced",
+    "record_span",
     "configure",
     "mode",
     "spans_enabled",
@@ -302,6 +303,31 @@ def trace(name: str, **attrs: Any):
                 return _SpanContext(name, attrs)
         return _NULL
     return _SpanContext(name, attrs)
+
+
+def record_span(
+    name: str,
+    start_ns: int,
+    end_ns: int,
+    tracer: Optional[Tracer] = None,
+    **attrs: Any,
+) -> None:
+    """Record an already-measured interval as a completed root span.
+
+    The probe for blocking points whose duration is known only after the
+    fact — transport receive waits, gap-inferred idle time — where a
+    ``with trace(...)`` block cannot wrap the interval.  The span lands
+    directly in ``tracer`` (default: the current scope's) as a root, so
+    it never nests under whatever happens to be open on this thread.
+    No-op when spans are off; zero/negative intervals are dropped.
+    """
+    if not spans_enabled() or end_ns <= start_ns:
+        return
+    span = Span(name, attrs)
+    span.start_ns = int(start_ns)
+    span.end_ns = int(end_ns)
+    target = tracer if tracer is not None else current_tracer()
+    target.add_track("main", [span.to_dict()])
 
 
 def traced(name: Optional[str] = None, **attrs: Any):

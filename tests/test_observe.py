@@ -1,0 +1,417 @@
+"""Performance observatory: timeline analytics, regression ledger, health.
+
+Covers the ISSUE-10 acceptance surface:
+
+* on a 2-rank distributed SCBA smoke the timeline **reconciles with the
+  telemetry it came from**: per-rank measured busy + wait covers the
+  ``runtime.run`` wall within 1% (the transport-instrumented waits agree
+  with subtraction-inferred idle), the critical path is >= the slowest
+  rank's busy time, and the exchange bytes re-derived from the phase
+  spans match the §4.1 models to the byte (through
+  ``drift.comm_drift(last_comm=...)``);
+* the ledger round-trips every committed ``BENCH_*.json`` record, and
+  the regression gate demonstrably fails on a synthetic 2x slowdown
+  while staying quiet across machines and modes;
+* the service health verdict flips to ``degraded`` for each threshold;
+* the ``python -m repro.observe`` CLI renders all three reports.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.negf import SCBASettings, SCBASimulation
+from repro.observe import (
+    Ledger,
+    analyze_events,
+    analyze_trace_file,
+    analyze_tracer,
+    compare_entries,
+    extract_metrics,
+    load_bench_records,
+    machine_fingerprint,
+    make_entry,
+    service_health,
+)
+from repro.observe.__main__ import main as observe_main
+from repro.telemetry import capture, configure, get_registry, get_tracer
+from repro.telemetry.drift import comm_drift
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    previous = configure("off")
+    get_tracer().clear()
+    get_registry().reset()
+    yield
+    configure(previous)
+    get_tracer().clear()
+    get_registry().reset()
+
+
+def _distributed_settings(runtime, ranks=2):
+    return SCBASettings(
+        runtime=runtime, ranks=ranks, schedule="omen",
+        NE=8, Nkz=2, Nqz=2, Nw=2, e_min=-1.0, e_max=1.0,
+        coupling=0.2, mixing=0.5, max_iterations=2, tolerance=0.0,
+    )
+
+
+def _smoke(small_model, runtime):
+    """One captured 2-rank run: (events, analysis, runtime_state).
+
+    The distributed runtime object is grabbed before the simulation
+    closes — ``comm_drift`` reads its decompositions and byte counters.
+    """
+    with capture("spans") as cap:
+        with SCBASimulation(
+            small_model, _distributed_settings(runtime)
+        ) as sim:
+            sim.run()
+            rt = sim._runtime
+    return cap.events, analyze_events(cap.events), rt
+
+
+# -- timeline reconciliation (the acceptance criterion) ----------------------
+
+
+@pytest.mark.parametrize("runtime", ["sim", "pipe"])
+def test_timeline_reconciles_with_telemetry(small_model, runtime):
+    _, analysis, sim = _smoke(small_model, runtime)
+
+    assert set(analysis.ranks) == {0, 1}
+    assert set(analysis.phases) == {"solve_gf", "sse", "residual", "gather"}
+    wall = analysis.wall_s
+    assert wall > 0
+
+    for rank, info in analysis.ranks.items():
+        # measured busy + measured wait tile the run window within 1% —
+        # i.e. the instrumented transport waits agree with the idle one
+        # would infer by subtracting busy from the wall.
+        assert info["coverage"] == pytest.approx(1.0, abs=0.01), (
+            f"rank {rank} busy+wait covers {info['coverage']:.4f} "
+            f"of the wall under {runtime}"
+        )
+        inferred_idle = wall - info["busy_s"]
+        assert info["wait_s"] == pytest.approx(
+            inferred_idle, abs=0.01 * wall
+        )
+        assert info["by_method_s"], "runtime.exec method split missing"
+
+    # critical path: >= the slowest rank, <= the wall it lower-bounds
+    max_busy = max(info["busy_s"] for info in analysis.ranks.values())
+    assert analysis.critical_path_s >= max_busy - 1e-12
+    assert analysis.critical_path_s <= wall * (1 + 1e-9)
+
+    # phase windows: per-rank busy in solve_gf dominates, headroom sane
+    assert analysis.phases["solve_gf"]["seconds"] > 0
+    assert analysis.imbalance_factor >= 1.0
+    ov = analysis.overlap
+    assert ov["headroom_s"] is not None
+    assert 0.0 <= ov["headroom_s"] <= ov["exchange_s"] + 1e-12
+
+
+@pytest.mark.parametrize("runtime", ["sim", "pipe"])
+def test_timeline_comm_matches_section41_models(small_model, runtime):
+    _, analysis, rt = _smoke(small_model, runtime)
+    # bytes re-derived from the phase spans, fed through the drift
+    # checker in place of the runtime's own accounting: still exact.
+    report = comm_drift(rt, last_comm=analysis.comm_stats())
+    assert report.clean, report.describe()
+    sse = report.record("sse.omen")
+    assert sse.measured == sse.modeled > 0
+
+
+def test_timeline_roundtrips_and_renders(small_model, tmp_path):
+    events, analysis, _ = _smoke(small_model, "sim")
+
+    # to_dict is JSON-serializable and carries the headline numbers
+    blob = json.loads(json.dumps(analysis.to_dict()))
+    assert blob["wall_s"] == analysis.wall_s
+    assert blob["ranks"]["0"]["busy_s"] > 0
+
+    md = analysis.to_markdown()
+    assert "load-imbalance factor" in md
+    assert "critical path" in md
+    assert "overlap headroom" in md
+
+    # file round trip (save_trace format = the raw event array)
+    path = tmp_path / "smoke.trace.json"
+    path.write_text(json.dumps(events))
+    from_file = analyze_trace_file(path)
+    assert from_file.wall_s == analysis.wall_s
+    assert from_file.comm == analysis.comm
+
+
+def test_analyze_tracer_in_place(small_model):
+    configure("spans")
+    with SCBASimulation(small_model, _distributed_settings("sim")) as sim:
+        sim.run()
+    analysis = analyze_tracer()
+    assert set(analysis.ranks) == {0, 1}
+    assert analysis.critical_path_s > 0
+
+
+def test_analyze_events_requires_a_run():
+    with pytest.raises(ValueError, match="runtime.run"):
+        analyze_events([])
+
+
+def test_analysis_selects_run_window(small_model):
+    """A resident runtime traces one runtime.run per sweep point."""
+    configure("spans")
+    with SCBASimulation(small_model, _distributed_settings("sim")) as sim:
+        sim.run()
+        sim.run()
+    first = analyze_tracer(run=0)
+    last = analyze_tracer(run=-1)
+    assert first.wall_s != last.wall_s or first.to_dict() != last.to_dict()
+
+
+# -- regression ledger -------------------------------------------------------
+
+
+def _committed_records():
+    records = load_bench_records(BENCH_DIR)
+    assert len(records) >= 9, sorted(records)
+    return records
+
+
+def test_ledger_roundtrips_all_committed_bench_records():
+    records = _committed_records()
+    for name, record in records.items():
+        metrics = extract_metrics(name, record)
+        assert metrics, f"no metrics distilled from BENCH_{name}.json"
+        assert all(
+            isinstance(v, float) for v in metrics.values()
+        ), f"non-scalar metric in {name}"
+    entry = make_entry(records, fast=False)
+    assert entry["mode"] == "full"
+    assert entry["fingerprint"] is not None
+    # a full entry vs itself: every gated metric checks out
+    report = compare_entries(entry, copy.deepcopy(entry))
+    assert report.comparable and report.passed
+    assert all(c.status in ("ok", "informational") for c in report.checks)
+    json.loads(json.dumps(report.to_dict()))  # CI artifact shape
+
+
+def test_gate_fails_on_synthetic_2x_slowdown():
+    entry = make_entry(_committed_records(), fast=False)
+    slowed = copy.deepcopy(entry)  # same fingerprint, same mode
+    timing = 0
+    for bench, metrics in slowed["metrics"].items():
+        for metric in metrics:
+            if "seconds" in metric:
+                metrics[metric] *= 2.0
+                timing += 1
+    assert timing > 0
+    report = compare_entries(slowed, entry)
+    assert report.comparable and not report.passed
+    assert any(
+        c.kind == "time" and "slower" in c.note for c in report.regressions
+    )
+    assert "FAIL" in report.to_markdown()
+
+
+def test_gate_ignores_timing_across_machines_but_not_models():
+    entry = make_entry(_committed_records(), fast=False)
+    foreign = copy.deepcopy(entry)
+    foreign["fingerprint"] = "deadbeef0000"
+    for metrics in foreign["metrics"].values():
+        for metric in metrics:
+            if "seconds" in metric:
+                metrics[metric] *= 10.0
+    assert compare_entries(foreign, entry).passed  # timing not gated
+
+    # ... but a model-derived byte count changing still fails anywhere
+    foreign["metrics"]["runtime"][
+        "strong[schedule=omen,P=2].total_sse_bytes"
+    ] += 8
+    report = compare_entries(foreign, entry)
+    assert not report.passed
+    assert report.regressions[0].kind == "model"
+
+
+def test_gate_refuses_fast_vs_full_comparison():
+    entry = make_entry(_committed_records(), fast=False)
+    fast = copy.deepcopy(entry)
+    fast["mode"] = "fast"
+    report = compare_entries(fast, entry)
+    assert not report.comparable and report.passed
+    assert "not comparable" in report.note
+
+
+def test_error_metrics_gate_on_their_ceiling():
+    entry = make_entry(_committed_records(), fast=False)
+    bad = copy.deepcopy(entry)
+    bad["metrics"]["api"]["max_current_deviation"] = 1e-3  # ceiling 1e-8
+    report = compare_entries(bad, entry)
+    assert not report.passed
+    (check,) = [c for c in report.regressions if c.bench == "api"]
+    assert check.kind == "error" and "ceiling" in check.note
+
+
+def test_ledger_append_only_persistence(tmp_path):
+    path = tmp_path / "LEDGER.json"
+    ledger = Ledger.load(path)
+    assert ledger.entries == [] and ledger.latest() is None
+    e1 = make_entry(_committed_records(), fast=True, note="first")
+    ledger.append(e1)
+    ledger.save()
+    again = Ledger.load(path)
+    assert len(again.entries) == 1
+    again.append(make_entry(_committed_records(), fast=True, note="second"))
+    again.save()
+    final = Ledger.load(path)
+    assert [e["note"] for e in final.entries] == ["first", "second"]
+    assert final.latest()["note"] == "second"
+
+
+def test_machine_fingerprint_stability():
+    a = {"platform": "x", "numpy": "2.0"}
+    assert machine_fingerprint(a) == machine_fingerprint(dict(a))
+    assert machine_fingerprint(a) != machine_fingerprint({**a, "numpy": "1"})
+    assert machine_fingerprint(None) is None
+
+
+def test_committed_baseline_matches_current_specs():
+    """The committed FAST baseline stays loadable and self-consistent."""
+    baseline = json.loads((BENCH_DIR / "BASELINE.json").read_text())
+    assert baseline["mode"] == "fast"
+    assert baseline["metrics"], "baseline carries no metrics"
+    report = compare_entries(copy.deepcopy(baseline), baseline)
+    assert report.comparable and report.passed
+
+
+# -- service health ----------------------------------------------------------
+
+
+def _stats(**overrides):
+    base = {
+        "queued": 0,
+        "jobs": {"DONE": 3, "CACHED": 1},
+        "cache": {"hits": 1, "misses": 3},
+        "queue_latency_s": {
+            "count": 4, "window": 4,
+            "p50": 0.01, "p95": 0.02, "max": 0.03, "mean": 0.012,
+        },
+        "pools": [
+            {
+                "pool_id": "pool-0", "capacity_flops": 1e9,
+                "committed_flops": 4e8, "utilization": 0.4,
+                "jobs": ["j0", "j1"], "groups": 1,
+            }
+        ],
+        "tenants": {"alice": {"jobs": 4, "done": 3, "cached": 1,
+                              "failed": 0}},
+    }
+    base.update(overrides)
+    return base
+
+
+def test_health_ok_verdict():
+    report = service_health(stats=_stats())
+    assert report.ok and report.status == "ok" and not report.reasons
+    md = report.to_markdown()
+    assert "**OK**" in md and "pool-0" in md and "alice" in md
+    json.loads(json.dumps(report.to_dict()))
+
+
+@pytest.mark.parametrize(
+    "overrides, reason",
+    [
+        ({"queued": 500}, "queue depth"),
+        ({"jobs": {"DONE": 3, "FAILED": 1}}, "FAILED"),
+        (
+            {"queue_latency_s": {"count": 4, "window": 4, "p50": 1.0,
+                                 "p95": 120.0, "max": 130.0, "mean": 30.0}},
+            "latency p95",
+        ),
+        (
+            {"pools": [{"pool_id": "pool-0", "capacity_flops": 1e9,
+                        "committed_flops": 2e9, "jobs": []}]},
+            "overcommitted",
+        ),
+    ],
+)
+def test_health_degraded_verdicts(overrides, reason):
+    report = service_health(stats=_stats(**overrides))
+    assert not report.ok and report.status == "degraded"
+    assert any(reason in r for r in report.reasons), report.reasons
+
+
+def test_health_thresholds_overridable():
+    stats = _stats(queued=500)
+    assert not service_health(stats=stats).ok
+    assert service_health(stats=stats, max_queued=1000).ok
+
+
+# -- the CLI -----------------------------------------------------------------
+
+
+def test_cli_trace_report(small_model, tmp_path, capsys):
+    events, _, _ = _smoke(small_model, "sim")
+    trace = tmp_path / "run.trace.json"
+    trace.write_text(json.dumps(events))
+    out = tmp_path / "report.md"
+    assert observe_main(["trace", str(trace), "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "Timeline analysis" in text and "critical path" in text
+    assert "critical path" in capsys.readouterr().out
+    assert observe_main(["trace", str(trace), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["wall_s"] > 0
+
+
+def test_cli_ledger_gate_and_baseline_update(tmp_path, capsys):
+    out = tmp_path / "observatory.md"
+    baseline = tmp_path / "BASELINE.json"
+    ledger = tmp_path / "LEDGER.json"
+    # distill the committed records into a baseline + first ledger entry
+    rc = observe_main([
+        "ledger", "--bench-dir", str(BENCH_DIR),
+        "--update-baseline", str(baseline), "--append", str(ledger),
+    ])
+    assert rc == 0 and baseline.exists()
+    assert len(Ledger.load(ledger).entries) == 1
+
+    # self-comparison passes the gate and writes the artifact
+    rc = observe_main([
+        "ledger", "--bench-dir", str(BENCH_DIR),
+        "--baseline", str(baseline), "--gate", "--out", str(out),
+    ])
+    assert rc == 0 and "PASS" in out.read_text()
+    capsys.readouterr()
+
+    # a 2x slowdown injected into the baseline's timings trips the gate
+    entry = json.loads(baseline.read_text())
+    for metrics in entry["metrics"].values():
+        for metric in list(metrics):
+            if "seconds" in metric:
+                metrics[metric] /= 2.0  # fresh is now 2x slower
+    baseline.write_text(json.dumps(entry))
+    rc = observe_main([
+        "ledger", "--bench-dir", str(BENCH_DIR),
+        "--baseline", str(baseline), "--gate",
+    ])
+    assert rc == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_cli_ledger_empty_dir(tmp_path):
+    assert observe_main(["ledger", "--bench-dir", str(tmp_path)]) == 2
+
+
+def test_cli_health_gate(tmp_path, capsys):
+    stats = tmp_path / "stats.json"
+    stats.write_text(json.dumps(_stats()))
+    assert observe_main(["health", str(stats)]) == 0
+    assert "**OK**" in capsys.readouterr().out
+    stats.write_text(json.dumps(_stats(queued=500)))
+    assert observe_main(["health", str(stats), "--gate"]) == 1
+    assert "DEGRADED" in capsys.readouterr().out

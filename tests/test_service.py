@@ -433,6 +433,58 @@ class TestSchedulerService:
             assert len(s["pools"]) == 1
             assert s["mean_queue_latency_s"] is not None
 
+    def test_stats_json_roundtrip(self):
+        """The whole stats dict survives json end-to-end (ISSUE 10): no
+        numpy scalars, tuples, or other non-serializable leaves."""
+        with sync_service() as svc:
+            svc.submit(small_workload(bias=0.1), tenant="alice")
+            svc.submit(small_workload(bias=0.1), tenant="bob")  # cached
+            svc.drain()
+            s = svc.stats()
+        restored = json.loads(json.dumps(s))
+        assert restored == s
+
+    def test_stats_queue_latency_percentiles(self):
+        with sync_service() as svc:
+            for bias in (0.1, 0.2, 0.3):
+                svc.submit(small_workload(bias=bias))
+            svc.drain()
+            lat = svc.stats()["queue_latency_s"]
+        assert lat["count"] == 3 and lat["window"] == 3
+        assert 0.0 <= lat["p50"] <= lat["p95"] <= lat["max"]
+        assert lat["mean"] >= 0.0
+
+    def test_stats_latency_reservoir_bounded(self):
+        from repro.service.scheduler import LATENCY_RESERVOIR
+
+        with sync_service() as svc:
+            for _ in range(LATENCY_RESERVOIR + 5):
+                svc._record_latency(0.001)
+            lat = svc._latency_stats()
+        assert lat["count"] == LATENCY_RESERVOIR + 5
+        assert lat["window"] == LATENCY_RESERVOIR
+
+    def test_stats_tenant_counters(self):
+        with sync_service() as svc:
+            svc.submit(small_workload(bias=0.1), tenant="alice")
+            svc.submit(small_workload(bias=0.1), tenant="bob")  # cache hit
+            svc.submit(small_workload(bias=0.3), tenant="bob")
+            svc.drain()
+            tenants = svc.stats()["tenants"]
+        assert tenants["alice"]["done"] == 1
+        assert tenants["bob"]["jobs"] == 2 and tenants["bob"]["cached"] == 1
+
+    def test_service_health_on_live_service(self):
+        from repro.observe import service_health
+
+        with sync_service() as svc:
+            svc.submit(small_workload(bias=0.1), tenant="alice")
+            svc.drain()
+            report = service_health(service=svc)
+        assert report.ok, report.reasons
+        assert report.details["tenants"]["alice"]["done"] == 1
+        json.loads(json.dumps(report.to_dict()))
+
     def test_submit_convenience_on_workload(self):
         with sync_service() as svc:
             job = small_workload().submit(svc, tenant="alice", priority=1)

@@ -219,6 +219,84 @@ def test_chrome_trace_schema():
     assert min(e["ts"] for e in spans) == 0.0
 
 
+def test_chrome_trace_empty_tracer():
+    assert chrome_trace_events(Tracer()) == []
+
+
+def test_chrome_trace_multithread_tid_ordering():
+    """Spans from several threads land on distinct, stable tids."""
+    configure("spans")
+    tracer = get_tracer()
+
+    def work(i):
+        with trace(f"worker-{i}"):
+            pass
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(3)]
+    with trace("driver"):
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    events = chrome_trace_events(tracer)
+    spans = [e for e in events if e["ph"] == "X"]
+    tid_of = {e["name"]: e["tid"] for e in spans}
+    # four recording threads -> four distinct tids on the main track,
+    # assigned contiguously in root-completion order
+    tids = {tid_of["driver"]} | {tid_of[f"worker-{i}"] for i in range(3)}
+    assert tids == {0, 1, 2, 3}
+    # thread_name metadata covers every tid used by a span
+    named = {
+        (e["pid"], e["tid"])
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {(e["pid"], e["tid"]) for e in spans} <= named
+
+
+def test_chrome_trace_span_open_at_export():
+    """A span still open when exported gets a zero duration, not a crash."""
+    configure("spans")
+    with trace("closed"):
+        pass
+    # simulate an open span: to_dict on a live one stamps end = now, but a
+    # root dict drained with end_ns None must export as dur 0
+    get_tracer().add_track(
+        "rank 0",
+        [{
+            "name": "rank.open",
+            "start_ns": 100,
+            "end_ns": None,
+            "thread": "MainThread",
+            "attrs": {},
+            "children": [],
+        }],
+    )
+    events = chrome_trace_events()
+    by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert by_name["rank.open"]["dur"] == 0.0
+    assert by_name["closed"]["dur"] >= 0.0
+
+
+def test_walk_span_tree_preorder_and_iter_spans():
+    from repro.telemetry.export import iter_spans, walk_span_tree
+
+    configure("spans")
+    with trace("root"):
+        with trace("child-a"):
+            with trace("leaf"):
+                pass
+        with trace("child-b"):
+            pass
+    ((_, root),) = get_tracer().roots()
+    walked = [(d, s["name"]) for d, s in walk_span_tree(root)]
+    assert walked == [
+        (0, "root"), (1, "child-a"), (2, "leaf"), (1, "child-b")
+    ]
+    flat = [(track, d, s["name"]) for track, d, s in iter_spans(get_tracer())]
+    assert ("main", 0, "root") in flat and ("main", 2, "leaf") in flat
+
+
 def test_capture_roundtrip(tmp_path):
     with capture("full") as cap:
         with trace("captured"):
